@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure (see DESIGN.md's
+per-experiment index), runs it once per round (the experiments are
+deterministic), prints the rows/series the paper reports, and stores the
+headline numbers in ``benchmark.extra_info`` so the JSON output carries
+the reproduction data alongside the timings.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round/iteration and return its result."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

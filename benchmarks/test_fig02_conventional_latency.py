@@ -1,0 +1,23 @@
+"""Figure 2: packet latency under conventional hash-based TE.
+
+Paper: instance-pair latency is unstable under conventional TE; pair #4
+clusters around 20 ms and 42 ms.  MegaTE pins each pair to one tunnel.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig02
+
+from conftest import run_once
+
+
+def test_fig02_hash_latency_bimodal(benchmark):
+    result = run_once(benchmark, fig02.run, num_epochs=288)
+    print("\nFig 2(a) box stats per instance pair (min/q1/med/q3/max ms):")
+    for idx, stats in enumerate(result.pair_latency_stats, start=1):
+        print(f"  pair #{idx}: " + "/".join(f"{v:.0f}" for v in stats))
+    print(f"Fig 2(b) pair #4 latency modes: {result.pair4_modes} ms")
+    print(f"MegaTE pinned latencies: {result.megate_latencies} ms")
+    benchmark.extra_info["pair4_modes_ms"] = result.pair4_modes
+    benchmark.extra_info["megate_latencies_ms"] = result.megate_latencies
+    assert result.pair4_modes == [20.0, 42.0]

@@ -1,0 +1,31 @@
+"""Figure 8: CDF of endpoints per router site with Weibull fit."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08
+
+from conftest import run_once
+
+
+def test_fig08_weibull_fit(benchmark):
+    result = run_once(benchmark, fig08.run, num_sites=200, seed=2022)
+    print(
+        f"\nFig 8: fitted Weibull shape={result.fitted_model.shape:.3f} "
+        f"scale={result.fitted_model.scale:.0f}, "
+        f"KS={result.ks_statistic:.3f}, "
+        f"count spread={result.spread_orders_of_magnitude:.1f} "
+        "orders of magnitude"
+    )
+    quantiles = [0.25, 0.5, 0.75, 0.9]
+    import numpy as np
+
+    sorted_counts = np.sort(result.counts)
+    for q in quantiles:
+        print(
+            f"  CDF={q:.2f}: empirical m≈"
+            f"{sorted_counts[int(q * (len(sorted_counts) - 1))]}"
+        )
+    benchmark.extra_info["weibull_shape"] = result.fitted_model.shape
+    benchmark.extra_info["weibull_scale"] = result.fitted_model.scale
+    benchmark.extra_info["ks_statistic"] = result.ks_statistic
+    assert result.ks_statistic < 0.15

@@ -1,0 +1,43 @@
+"""Figure 9: TE algorithm run time vs endpoint scale, four topologies.
+
+Paper headline: MegaTE handles 20× more endpoints at similar run time;
+LP-all/NCFlow/TEAL run out of memory at hyper-scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig09
+
+from conftest import run_once
+
+
+def test_fig09_runtime_sweep(benchmark):
+    records = run_once(benchmark, fig09.run)
+    print("\nFig 9: TE computation time (s) by topology / scale / scheme:")
+    print(f"  {'topology':10s} {'endpoints':>9s} {'flows':>7s} "
+          f"{'scheme':8s} {'runtime':>9s} {'status':>6s}")
+    for r in records:
+        runtime = "-" if math.isnan(r.runtime_s) else f"{r.runtime_s:.3f}"
+        print(
+            f"  {r.topology:10s} {r.num_endpoints:9d} {r.num_flows:7d} "
+            f"{r.scheme:8s} {runtime:>9s} {r.status:>6s}"
+        )
+    # The headline: at the largest scale of each topology, MegaTE's
+    # runtime is below LP-all's.
+    by_key = {}
+    for r in records:
+        by_key.setdefault((r.topology, r.scheme), []).append(r)
+    for topology in {r.topology for r in records}:
+        megate = max(
+            by_key[(topology, "MegaTE")], key=lambda r: r.num_endpoints
+        )
+        lp = max(
+            by_key[(topology, "LP-all")], key=lambda r: r.num_endpoints
+        )
+        if lp.status == "ok":
+            assert megate.runtime_s <= lp.runtime_s * 1.5
+        benchmark.extra_info[f"{topology}_megate_runtime_s"] = (
+            megate.runtime_s
+        )

@@ -1,0 +1,28 @@
+"""Figure 11: QoS-class-1 packet latency on Deltacom*.
+
+Paper: MegaTE cuts class-1 latency by 25% vs NCFlow and 33% vs TEAL.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig11
+
+from conftest import run_once
+
+
+def test_fig11_qos1_latency(benchmark):
+    result = run_once(
+        benchmark, fig11.run, num_endpoints=1130, num_site_pairs=30
+    )
+    print("\nFig 11: QoS-1 volume-weighted latency (hops):")
+    for scheme, latency in sorted(result.qos1_latency.items()):
+        print(f"  {scheme:8s}: {latency:.2f}")
+    for scheme, reduction in result.reduction_vs.items():
+        print(f"  MegaTE reduction vs {scheme}: {reduction:.0%}")
+        benchmark.extra_info[f"reduction_vs_{scheme}"] = reduction
+    megate = result.qos1_latency["MegaTE"]
+    for scheme, latency in result.qos1_latency.items():
+        if scheme != "MegaTE" and not math.isnan(latency):
+            assert megate <= latency

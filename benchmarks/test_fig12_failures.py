@@ -1,0 +1,63 @@
+"""Figure 12: satisfied demand under 2 and 5 fiber failures on Deltacom*.
+
+Paper: the MegaTE-NCFlow gap grows with scale (≈4% at 1130 endpoints,
+8.2% at 5650) because NCFlow's recomputation window grows while MegaTE's
+stays sub-second.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig12
+
+from conftest import run_once
+
+
+def test_fig12_failure_recovery(benchmark):
+    records = run_once(
+        benchmark,
+        fig12.run,
+        schemes=["NCFlow", "TEAL", "MegaTE"],
+        scenarios_per_point=2,
+    )
+    print("\nFig 12: time-weighted satisfied demand through failures:")
+    print(f"  {'endpoints':>9s} {'failures':>8s} {'scheme':8s} "
+          f"{'satisfied':>9s} {'recompute':>10s}")
+    for r in records:
+        sat = (
+            "-" if math.isnan(r.effective_satisfied)
+            else f"{r.effective_satisfied:.3f}"
+        )
+        rec = (
+            "-" if math.isnan(r.recompute_seconds)
+            else f"{r.recompute_seconds:.1f}s"
+        )
+        print(
+            f"  {r.num_endpoints:9d} {r.num_failures:8d} {r.scheme:8s} "
+            f"{sat:>9s} {rec:>10s}"
+        )
+    by_key = {
+        (r.num_endpoints, r.num_failures, r.scheme): r for r in records
+    }
+    gaps = {}
+    for n in {r.num_endpoints for r in records}:
+        for f in {r.num_failures for r in records}:
+            megate = by_key.get((n, f, "MegaTE"))
+            ncflow = by_key.get((n, f, "NCFlow"))
+            if megate and ncflow:
+                gap = (
+                    megate.effective_satisfied
+                    - ncflow.effective_satisfied
+                )
+                gaps[(n, f)] = gap
+                assert gap >= -0.01  # MegaTE never meaningfully worse
+                benchmark.extra_info[f"gap_n{n}_f{f}"] = gap
+    # The gap grows with scale (paper: 4% -> 8.2%).
+    small = max(g for (n, _), g in gaps.items() if n == min(
+        k[0] for k in gaps
+    ))
+    large = max(g for (n, _), g in gaps.items() if n == max(
+        k[0] for k in gaps
+    ))
+    assert large >= small - 0.01

@@ -1,0 +1,26 @@
+"""Figure 13: CPU / memory vs persistent connections on a 1-core VM.
+
+Paper calibration: 6,000 connections -> 90% CPU and 750 MB.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig13
+
+from conftest import run_once
+
+
+def test_fig13_connection_overhead(benchmark):
+    rows = run_once(benchmark, fig13.run)
+    print("\nFig 13: persistent-connection overhead:")
+    print(f"  {'connections':>11s} {'CPU %':>7s} {'memory MB':>10s}")
+    for row in rows:
+        print(
+            f"  {row.connections:11d} {row.cpu_percent:7.1f} "
+            f"{row.memory_mb:10.1f}"
+        )
+    last = rows[-1]
+    benchmark.extra_info["cpu_at_6000"] = last.cpu_percent
+    benchmark.extra_info["memory_mb_at_6000"] = last.memory_mb
+    assert last.cpu_percent == 90.0
+    assert last.memory_mb == 750.0

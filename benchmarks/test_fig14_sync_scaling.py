@@ -1,0 +1,32 @@
+"""Figure 14: controller resources vs endpoints, top-down vs bottom-up.
+
+Paper: one million endpoints need ≥167 cores / 125 GB top-down, but
+1 core / 1 GB (plus 2 DB shards) bottom-up.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig14
+
+from conftest import run_once
+
+
+def test_fig14_sync_scaling(benchmark):
+    rows = run_once(benchmark, fig14.run)
+    print("\nFig 14: synchronization resource scaling:")
+    print(
+        f"  {'endpoints':>10s} {'td cores':>9s} {'td GB':>8s} "
+        f"{'bu cores':>9s} {'bu GB':>6s} {'shards':>7s}"
+    )
+    for row in rows:
+        print(
+            f"  {row.endpoints:10d} {row.topdown_cores:9.1f} "
+            f"{row.topdown_memory_gb:8.1f} {row.bottomup_cores:9.1f} "
+            f"{row.bottomup_memory_gb:6.1f} {row.database_shards:7d}"
+        )
+    million = [r for r in rows if r.endpoints == 1_000_000][0]
+    benchmark.extra_info["topdown_cores_at_1M"] = million.topdown_cores
+    benchmark.extra_info["topdown_gb_at_1M"] = million.topdown_memory_gb
+    assert million.topdown_cores > 160
+    assert million.bottomup_cores == 1.0
+    assert million.database_shards <= 2

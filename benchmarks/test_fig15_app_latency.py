@@ -1,0 +1,25 @@
+"""Figure 15: latency reductions for five time-sensitive production apps.
+
+Paper: MegaTE reduces latency for all five apps, by up to 51% (App 1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig15
+
+from conftest import run_once
+
+
+def test_fig15_app_latency(benchmark):
+    rows = run_once(benchmark, fig15.run, seed=0)
+    print("\nFig 15: per-app latency, traditional vs MegaTE:")
+    print(f"  {'app':22s} {'traditional':>12s} {'MegaTE':>8s} "
+          f"{'reduction':>10s}")
+    for row in rows:
+        print(
+            f"  {row.app_name:22s} {row.traditional_ms:10.1f}ms "
+            f"{row.megate_ms:6.1f}ms {row.reduction:9.0%}"
+        )
+        benchmark.extra_info[f"app{row.app_id}_reduction"] = row.reduction
+    assert all(r.reduction > 0 for r in rows)
+    assert max(r.reduction for r in rows) > 0.10

@@ -1,0 +1,34 @@
+"""§6.4 / §3.2: the sharded TE database absorbing the endpoint poll load.
+
+Paper: two shards sustain 160k qps; spreading queries over a 10 s window
+lets two shards cover the whole fleet, scaling linearly with shards.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import database_study
+
+from conftest import run_once
+
+
+def test_sec64_database_load(benchmark):
+    result = run_once(
+        benchmark,
+        database_study.run,
+        num_endpoints=1_000_000,
+        spread_window_s=10.0,
+        num_shards=2,
+    )
+    print(
+        f"\n§6.4: {result.num_endpoints:,} endpoints over "
+        f"{result.spread_window_s:.0f}s on {result.num_shards} shards: "
+        f"peak {result.peak_shard_qps:,} qps/shard, "
+        f"rejected {result.rejected}"
+    )
+    reqs = database_study.shard_requirements()
+    for endpoints, shards in reqs:
+        print(f"  {endpoints:>12,} endpoints -> {shards} shard(s)")
+    benchmark.extra_info["peak_shard_qps"] = result.peak_shard_qps
+    assert result.rejected == 0
+    assert result.peak_shard_qps <= 80_000
+    assert dict(reqs)[1_000_000] <= 2

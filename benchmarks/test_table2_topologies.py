@@ -1,0 +1,27 @@
+"""Table 2: the four evaluation topologies (sites + endpoints)."""
+
+from __future__ import annotations
+
+from repro.experiments import table02
+
+from conftest import run_once
+
+
+def test_table2_topologies(benchmark):
+    rows = run_once(benchmark, table02.run, scale=0.01)
+    print("\nTable 2 (endpoints built at 1% of paper scale):")
+    print(f"  {'Topology':10s} {'Sites':>6s} {'Fibers':>7s} "
+          f"{'Endpoints':>10s} {'Paper':>10s}")
+    for row in rows:
+        print(
+            f"  {row.name:10s} {row.sites:6d} {row.fibers:7d} "
+            f"{row.endpoints_built:10d} {row.endpoints_paper:10d}"
+        )
+        benchmark.extra_info[row.name] = {
+            "sites": row.sites,
+            "endpoints_built": row.endpoints_built,
+        }
+    by_name = {r.name: r for r in rows}
+    assert by_name["B4"].sites == 12
+    assert by_name["Deltacom"].sites == 113
+    assert by_name["Cogentco"].sites == 197

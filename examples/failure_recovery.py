@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fiber cuts on Deltacom*: recomputation speed is survivability.
+
+Paper §6.3: when fibers fail, every TE scheme recomputes on the surviving
+topology, but traffic keeps flowing (and dying on dead tunnels) until the
+new allocation lands.  MegaTE recomputes in well under a second even at
+scale, so it loses almost nothing; schemes with long solves bleed traffic
+through the whole window.
+
+This example fails 2 and then 5 fibers and reports each scheme's
+time-weighted satisfied demand through the event.
+
+Run:
+    python examples/failure_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro import MegaTEOptimizer, NCFlowTE, sample_failure_scenarios
+from repro.experiments.common import build_scenario
+from repro.simulation import run_failure_study
+
+
+def main() -> None:
+    scenario = build_scenario(
+        "deltacom",
+        total_endpoints=2_000,
+        num_site_pairs=30,
+        target_load=1.15,
+        seed=7,
+    )
+    topology, demands = scenario.topology, scenario.demands
+    print(
+        f"Deltacom*: {topology.num_sites} sites, "
+        f"{demands.num_endpoint_pairs} flows, "
+        f"{demands.total_demand:.0f} Gbps offered"
+    )
+
+    solvers = [MegaTEOptimizer(), NCFlowTE()]
+    for num_failures in (2, 5):
+        failures = sample_failure_scenarios(
+            topology.network,
+            num_failures=num_failures,
+            num_scenarios=3,
+            seed=num_failures,
+        )
+        print(f"\n--- {num_failures} fiber failures "
+              f"({len(failures)} scenarios) ---")
+        for solver in solvers:
+            outcomes = [
+                run_failure_study(
+                    topology,
+                    demands,
+                    solver,
+                    failure,
+                    interval_seconds=300.0,
+                    # Map this container's runtimes onto testbed scale,
+                    # where NCFlow's recompute takes ~100 s (paper §6.3).
+                    runtime_scale=150.0,
+                )
+                for failure in failures
+            ]
+            effective = sum(
+                o.effective_satisfied for o in outcomes
+            ) / len(outcomes)
+            surviving = sum(
+                o.surviving_fraction for o in outcomes
+            ) / len(outcomes)
+            recompute = sum(
+                o.recompute_seconds for o in outcomes
+            ) / len(outcomes)
+            print(
+                f"  {solver.scheme_name:8s} "
+                f"satisfied through event: {effective:.1%}  "
+                f"(surviving during recompute {surviving:.1%}, "
+                f"window {recompute:.1f}s)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — a reproduction of MegaTE (SIGCOMM 2024).
+
+MegaTE extends WAN traffic engineering to millions of virtual-instance
+endpoints.  This package reimplements the whole system in Python:
+
+* :mod:`repro.core` — the two-stage contracted TE optimization
+  (MaxSiteFlow LP + FastSSP subset-sum) with QoS priority classes.
+* :mod:`repro.topology` / :mod:`repro.traffic` — the evaluation substrate:
+  Table-2 topologies, Weibull endpoint layers, trace-style demands.
+* :mod:`repro.baselines` — LP-all, NCFlow-style, TEAL-style and the
+  conventional hash-split MCF.
+* :mod:`repro.controlplane` — the bottom-up config loop: sharded versioned
+  TE database, controller, pull-based endpoint agents.
+* :mod:`repro.dataplane` — the eBPF host stack and VXLAN + SR wire path.
+* :mod:`repro.simulation` — flow-level realization and metrics.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import MegaTEOptimizer, b4, contract, generate_demands
+
+    topology = contract(b4(), tunnels_per_pair=3, total_endpoints=1200)
+    demands = generate_demands(topology, target_load=1.0, seed=1)
+    result = MegaTEOptimizer().solve(topology, demands)
+    print(f"satisfied {result.satisfied_fraction:.1%} "
+          f"in {result.runtime_s:.2f}s")
+"""
+
+from .baselines import ConventionalMCF, LPAllTE, NCFlowTE, TealTE
+from .core import (
+    FlowAssignment,
+    MaxAllFlowProblem,
+    MegaTEOptimizer,
+    QoSClass,
+    SiteAllocation,
+    TEResult,
+    check_feasibility,
+    fast_ssp,
+    solve_max_all_flow,
+    solve_max_site_flow,
+)
+from .topology import (
+    EndpointLayout,
+    SiteNetwork,
+    Tunnel,
+    TunnelCatalog,
+    TwoLayerTopology,
+    WeibullEndpointModel,
+    attach_endpoints,
+    b4,
+    build_tunnels,
+    cogentco,
+    contract,
+    deltacom,
+    sample_failure_scenarios,
+    topology_by_name,
+    twan,
+)
+from .traffic import (
+    DemandMatrix,
+    DiurnalSequence,
+    PairDemands,
+    generate_demands,
+    map_demands,
+    scale_to_load,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "MegaTEOptimizer",
+    "MaxAllFlowProblem",
+    "QoSClass",
+    "TEResult",
+    "FlowAssignment",
+    "SiteAllocation",
+    "check_feasibility",
+    "fast_ssp",
+    "solve_max_site_flow",
+    "solve_max_all_flow",
+    # baselines
+    "LPAllTE",
+    "NCFlowTE",
+    "TealTE",
+    "ConventionalMCF",
+    # topology
+    "SiteNetwork",
+    "Tunnel",
+    "TunnelCatalog",
+    "TwoLayerTopology",
+    "EndpointLayout",
+    "WeibullEndpointModel",
+    "attach_endpoints",
+    "build_tunnels",
+    "contract",
+    "b4",
+    "deltacom",
+    "cogentco",
+    "twan",
+    "topology_by_name",
+    "sample_failure_scenarios",
+    # traffic
+    "DemandMatrix",
+    "PairDemands",
+    "DiurnalSequence",
+    "generate_demands",
+    "map_demands",
+    "scale_to_load",
+]

@@ -1,0 +1,16 @@
+"""Baseline TE schemes MegaTE is compared against (paper §6.1 and §7)."""
+
+from .hash_te import ConventionalMCF, hash_to_unit
+from .lp_all import LPAllTE
+from .ncflow import NCFlowTE
+from .pop import POPTE
+from .teal import TealTE
+
+__all__ = [
+    "LPAllTE",
+    "NCFlowTE",
+    "TealTE",
+    "ConventionalMCF",
+    "POPTE",
+    "hash_to_unit",
+]

@@ -1,0 +1,445 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig02
+    python -m repro.cli fig09 --topologies b4 deltacom
+    python -m repro.cli fig10 --load 1.15
+    python -m repro.cli fig12 --scales 1130 5650
+    python -m repro.cli table2 --scale 0.01
+
+Each subcommand prints the rows/series of the corresponding paper table
+or figure (see DESIGN.md's per-experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    database_study,
+    fastssp_study,
+    fig02,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table02,
+)
+from .experiments.reporting import render_table
+
+__all__ = ["main"]
+
+
+def _cmd_fig02(args) -> None:
+    result = fig02.run(num_epochs=args.epochs)
+    print("Figure 2(a): instance-pair latency over one day (ms)")
+    print(
+        render_table(
+            ["pair", "min", "q1", "median", "q3", "max"],
+            [
+                (f"#{i + 1}", *stats)
+                for i, stats in enumerate(result.pair_latency_stats)
+            ],
+            precision=1,
+        )
+    )
+    print(f"\nFigure 2(b): pair #4 latency modes: {result.pair4_modes} ms")
+    print(f"MegaTE pinned latencies: {result.megate_latencies} ms")
+
+
+def _cmd_fig08(args) -> None:
+    result = fig08.run(num_sites=args.sites, seed=args.seed)
+    print(
+        f"Figure 8: Weibull fit shape={result.fitted_model.shape:.3f} "
+        f"scale={result.fitted_model.scale:.0f} "
+        f"(KS={result.ks_statistic:.3f}); counts span "
+        f"{result.spread_orders_of_magnitude:.1f} orders of magnitude"
+    )
+
+
+def _cmd_table2(args) -> None:
+    rows = table02.run(scale=args.scale)
+    print(f"Table 2 (endpoints at {args.scale:.1%} of paper scale):")
+    print(
+        render_table(
+            ["topology", "sites", "fibers", "endpoints", "paper"],
+            [
+                (r.name, r.sites, r.fibers, r.endpoints_built,
+                 r.endpoints_paper)
+                for r in rows
+            ],
+        )
+    )
+
+
+def _sweep_table(records) -> str:
+    return render_table(
+        ["topology", "endpoints", "flows", "scheme", "runtime_s",
+         "satisfied", "status"],
+        [
+            (r.topology, r.num_endpoints, r.num_flows, r.scheme,
+             r.runtime_s, r.satisfied, r.status)
+            for r in records
+        ],
+    )
+
+
+def _cmd_fig09(args) -> None:
+    records = fig09.run(topologies=args.topologies, seed=args.seed)
+    print("Figure 9: TE computation time vs scale")
+    print(_sweep_table(records))
+
+
+def _cmd_fig10(args) -> None:
+    records = fig10.run(
+        topologies=args.topologies, target_load=args.load, seed=args.seed
+    )
+    print("Figure 10: satisfied demand vs scale")
+    print(_sweep_table(records))
+
+
+def _cmd_fig11(args) -> None:
+    result = fig11.run(
+        num_endpoints=args.endpoints, target_load=args.load, seed=args.seed
+    )
+    print("Figure 11: QoS-1 volume-weighted latency (hops)")
+    print(
+        render_table(
+            ["scheme", "latency", "MegaTE reduction"],
+            [
+                (
+                    scheme,
+                    latency,
+                    result.reduction_vs.get(scheme, float("nan")),
+                )
+                for scheme, latency in result.qos1_latency.items()
+            ],
+        )
+    )
+
+
+def _cmd_fig12(args) -> None:
+    records = fig12.run(endpoint_scales=args.scales, seed=args.seed)
+    print("Figure 12: satisfied demand through failures")
+    print(
+        render_table(
+            ["endpoints", "failures", "scheme", "satisfied",
+             "recompute_s"],
+            [
+                (r.num_endpoints, r.num_failures, r.scheme,
+                 r.effective_satisfied, r.recompute_seconds)
+                for r in records
+            ],
+        )
+    )
+
+
+def _cmd_fig13(args) -> None:
+    print("Figure 13: persistent-connection overhead (1-core VM)")
+    print(
+        render_table(
+            ["connections", "cpu_percent", "memory_mb"],
+            [
+                (r.connections, r.cpu_percent, r.memory_mb)
+                for r in fig13.run()
+            ],
+            precision=1,
+        )
+    )
+
+
+def _cmd_fig14(args) -> None:
+    print("Figure 14: controller resources, top-down vs bottom-up")
+    print(
+        render_table(
+            ["endpoints", "td_cores", "td_gb", "bu_cores", "bu_gb",
+             "shards"],
+            [
+                (r.endpoints, r.topdown_cores, r.topdown_memory_gb,
+                 r.bottomup_cores, r.bottomup_memory_gb,
+                 r.database_shards)
+                for r in fig14.run()
+            ],
+            precision=1,
+        )
+    )
+
+
+def _cmd_fig15(args) -> None:
+    rows = fig15.run(seed=args.seed)
+    print("Figure 15: production app latency, traditional vs MegaTE")
+    print(
+        render_table(
+            ["app", "traditional_ms", "megate_ms", "reduction"],
+            [
+                (r.app_name, r.traditional_ms, r.megate_ms, r.reduction)
+                for r in rows
+            ],
+        )
+    )
+
+
+def _cmd_fig16(args) -> None:
+    rows = fig16.run(
+        num_months=args.months, rollout_month=args.rollout, seed=args.seed
+    )
+    print("Figure 16: monthly availability across the rollout")
+    print(
+        render_table(
+            ["month", "scheme", "app6", "app7"],
+            [
+                (r.month, r.scheme, r.app6_availability,
+                 r.app7_availability)
+                for r in rows
+            ],
+            precision=5,
+        )
+    )
+
+
+def _cmd_fig17(args) -> None:
+    rows = fig17.run(seed=args.seed)
+    print("Figure 17: per-app cost per Gbps")
+    print(
+        render_table(
+            ["app", "traditional", "megate", "reduction"],
+            [
+                (r.app_name, r.traditional_cost, r.megate_cost,
+                 r.reduction)
+                for r in rows
+            ],
+        )
+    )
+
+
+def _cmd_database(args) -> None:
+    result = database_study.run(
+        num_endpoints=args.endpoints, num_shards=args.shards
+    )
+    print(
+        f"§6.4: {result.num_endpoints:,} endpoints over "
+        f"{result.spread_window_s:.0f}s on {result.num_shards} shards -> "
+        f"peak {result.peak_shard_qps:,} qps/shard, "
+        f"rejected {result.rejected}"
+    )
+
+
+def _cmd_verify(args) -> None:
+    from .experiments.summary import run_all_checks
+
+    results = run_all_checks()
+    print("MegaTE reproduction scorecard (quick configuration):")
+    print(
+        render_table(
+            ["check", "claim", "measured", "pass"],
+            [
+                (r.name, r.claim, r.measured,
+                 "yes" if r.passed else "NO")
+                for r in results
+            ],
+        )
+    )
+    failed = [r for r in results if not r.passed]
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} claims verified"
+    )
+    if failed:
+        raise SystemExit(1)
+
+
+def _cmd_solve(args) -> None:
+    from .baselines import (
+        ConventionalMCF,
+        LPAllTE,
+        NCFlowTE,
+        POPTE,
+        TealTE,
+    )
+    from .core import MegaTEOptimizer, check_feasibility
+    from .topology import load_topology
+    from .traffic import generate_demands, read_demands_csv
+
+    schemes = {
+        "megate": MegaTEOptimizer,
+        "lp-all": LPAllTE,
+        "ncflow": NCFlowTE,
+        "teal": TealTE,
+        "pop": POPTE,
+        "conventional": ConventionalMCF,
+    }
+    topology = load_topology(args.topology)
+    if args.demands:
+        with open(args.demands, encoding="utf-8") as handle:
+            demands = read_demands_csv(
+                handle, num_site_pairs=topology.catalog.num_pairs
+            )
+    else:
+        demands = generate_demands(
+            topology, seed=args.seed, target_load=args.load
+        )
+    solver = schemes[args.scheme]()
+    result = solver.solve(topology, demands)
+    report = check_feasibility(topology, result)
+    print(
+        f"{result.scheme}: {demands.num_endpoint_pairs} flows, "
+        f"{demands.total_demand:.1f} Gbps offered"
+    )
+    print(
+        f"satisfied {result.satisfied_fraction:.1%} in "
+        f"{result.runtime_s * 1e3:.0f} ms; feasible={report.feasible} "
+        f"(peak link utilization {report.max_overload:.1%})"
+    )
+    by_class = result.stats.get("satisfied_by_class")
+    if by_class:
+        for qos, volume in sorted(by_class.items()):
+            print(f"  class {qos}: {volume:.1f} Gbps placed")
+
+
+def _cmd_fastssp(args) -> None:
+    rows = fastssp_study.run(
+        num_instances=args.instances, num_items=args.items
+    )
+    print("Appendix A.2: FastSSP vs exact DP vs greedy")
+    print(
+        render_table(
+            ["capacity", "fastssp", "optimal", "greedy", "bound",
+             "holds"],
+            [
+                (r.capacity, r.fastssp_fill, r.optimal_fill,
+                 r.greedy_fill, r.error_bound, r.bound_holds)
+                for r in rows
+            ],
+            precision=5,
+        )
+    )
+
+
+_COMMANDS = {
+    "fig02": _cmd_fig02,
+    "fig08": _cmd_fig08,
+    "table2": _cmd_table2,
+    "fig09": _cmd_fig09,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "fig14": _cmd_fig14,
+    "fig15": _cmd_fig15,
+    "fig16": _cmd_fig16,
+    "fig17": _cmd_fig17,
+    "database": _cmd_database,
+    "fastssp": _cmd_fastssp,
+    "solve": _cmd_solve,
+    "verify": _cmd_verify,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate MegaTE (SIGCOMM 2024) tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    p = sub.add_parser("fig02", help="latency under conventional hash TE")
+    p.add_argument("--epochs", type=int, default=288)
+
+    p = sub.add_parser("fig08", help="endpoint-per-site Weibull CDF")
+    p.add_argument("--sites", type=int, default=200)
+    p.add_argument("--seed", type=int, default=2022)
+
+    p = sub.add_parser("table2", help="evaluation topologies")
+    p.add_argument("--scale", type=float, default=0.01)
+
+    for name, help_text in (
+        ("fig09", "runtime sweep"),
+        ("fig10", "satisfied-demand sweep"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--topologies", nargs="+", default=None)
+        p.add_argument("--seed", type=int, default=0)
+        if name == "fig10":
+            p.add_argument("--load", type=float, default=1.15)
+
+    p = sub.add_parser("fig11", help="QoS-1 latency on Deltacom*")
+    p.add_argument("--endpoints", type=int, default=1130)
+    p.add_argument("--load", type=float, default=1.15)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig12", help="satisfied demand under failures")
+    p.add_argument("--scales", nargs="+", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("fig13", help="persistent-connection overhead")
+    sub.add_parser("fig14", help="controller resource scaling")
+
+    for name, help_text in (
+        ("fig15", "production app latency"),
+        ("fig17", "production traffic cost"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig16", help="availability across the rollout")
+    p.add_argument("--months", type=int, default=8)
+    p.add_argument("--rollout", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("database", help="sharded TE database load")
+    p.add_argument("--endpoints", type=int, default=1_000_000)
+    p.add_argument("--shards", type=int, default=2)
+
+    p = sub.add_parser("fastssp", help="FastSSP accuracy study")
+    p.add_argument("--instances", type=int, default=10)
+    p.add_argument("--items", type=int, default=400)
+
+    sub.add_parser(
+        "verify",
+        help="run a quick check of every reproduced claim (scorecard)",
+    )
+
+    p = sub.add_parser(
+        "solve",
+        help="solve a user topology (JSON) + demands (CSV) with any scheme",
+    )
+    p.add_argument("--topology", required=True,
+                   help="topology JSON (see repro.topology.dump_topology)")
+    p.add_argument("--demands", default=None,
+                   help="demand CSV (see repro.traffic.write_demands_csv); "
+                        "generated when omitted")
+    p.add_argument(
+        "--scheme",
+        choices=["megate", "lp-all", "ncflow", "teal", "pop",
+                 "conventional"],
+        default="megate",
+    )
+    p.add_argument("--load", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in _COMMANDS:
+            print(name)
+        return 0
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Control plane: bottom-up, database-mediated TE config distribution."""
+
+from .agent import EndpointAgent
+from .collector import DemandCollector, FlowRecord
+from .consistency import (
+    ConvergenceReport,
+    analytic_convergence,
+    simulate_convergence,
+    spread_offsets,
+)
+from .controller import EndpointConfig, TEController, VERSION_KEY, config_key
+from .failover import FailoverTimeline, orchestrate_failover
+from .watcher import LinkEvent, LinkStateMonitor
+from .hybrid import HybridPlan, exposure_after_failure, plan_hybrid_sync
+from .database import (
+    QueryRejected,
+    SHARD_CAPACITY_QPS,
+    ShardStats,
+    TEDatabase,
+)
+from .sync import (
+    ResourceEstimate,
+    bottomup_resources,
+    persistent_connection_load,
+    required_shards,
+    topdown_resources,
+)
+
+__all__ = [
+    "TEDatabase",
+    "ShardStats",
+    "QueryRejected",
+    "SHARD_CAPACITY_QPS",
+    "TEController",
+    "EndpointConfig",
+    "VERSION_KEY",
+    "config_key",
+    "EndpointAgent",
+    "ConvergenceReport",
+    "spread_offsets",
+    "simulate_convergence",
+    "analytic_convergence",
+    "persistent_connection_load",
+    "topdown_resources",
+    "bottomup_resources",
+    "required_shards",
+    "ResourceEstimate",
+    "HybridPlan",
+    "plan_hybrid_sync",
+    "exposure_after_failure",
+    "FailoverTimeline",
+    "orchestrate_failover",
+    "DemandCollector",
+    "FlowRecord",
+    "LinkStateMonitor",
+    "LinkEvent",
+]

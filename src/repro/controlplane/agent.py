@@ -1,0 +1,96 @@
+"""The endpoint agent: asynchronous, connectionless config pulls.
+
+Each end host runs an agent (§3.2, Figure 4(b)).  On its polling slot the
+agent issues a short-connection *version check* against the TE database;
+only when the version moved does it pull its endpoint's full configuration
+and install the new paths into the host's ``path_map`` (the eBPF map the
+TC-layer program reads — see :mod:`repro.dataplane`).
+
+Agents are assigned offsets that spread their polls uniformly over the
+query window (e.g. 10 s), which is how two database shards absorb millions
+of endpoints (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .controller import EndpointConfig, VERSION_KEY, config_key
+from .database import TEDatabase
+
+__all__ = ["EndpointAgent"]
+
+
+@dataclass
+class EndpointAgent:
+    """One end host's TE agent.
+
+    Attributes:
+        endpoint_id: The endpoint this agent serves.
+        poll_period_s: Seconds between version checks.
+        poll_offset_s: Phase within the period (spreads load).
+        local_version: Version of the currently installed config.
+        paths: Installed destination -> site-path mapping.
+        on_install: Optional callback invoked with the new
+            :class:`EndpointConfig` after an update (e.g. to program the
+            data plane's ``path_map``).
+    """
+
+    endpoint_id: int
+    poll_period_s: float = 10.0
+    poll_offset_s: float = 0.0
+    local_version: int = 0
+    paths: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    on_install: Callable[[EndpointConfig], None] | None = None
+    _last_poll_slot: int = field(default=-1, repr=False)
+
+    def next_poll_time(self, now: float) -> float:
+        """The first scheduled poll at or after ``now``."""
+        if self.poll_period_s <= 0:
+            raise ValueError("poll period must be positive")
+        slot = int(
+            max(0.0, (now - self.poll_offset_s)) // self.poll_period_s
+        )
+        t = self.poll_offset_s + slot * self.poll_period_s
+        while t < now:
+            t += self.poll_period_s
+        return t
+
+    def poll(self, database: TEDatabase, now: float) -> bool:
+        """Version-check and pull if stale.
+
+        Returns:
+            True when a new configuration was installed.
+        """
+        remote_version = database.get_version(VERSION_KEY, now=now)
+        if remote_version <= self.local_version:
+            return False
+        try:
+            config, _ = database.get(
+                config_key(self.endpoint_id), now=now
+            )
+        except KeyError:
+            # No config for this endpoint in the new version (it sources
+            # no flows); track the version so we stop re-pulling.
+            self.local_version = remote_version
+            return False
+        self.paths = dict(config.paths)
+        self.local_version = remote_version
+        if self.on_install is not None:
+            self.on_install(config)
+        return True
+
+    def maybe_poll(self, database: TEDatabase, now: float) -> bool:
+        """Poll only when ``now`` lands on a new scheduled slot."""
+        if self.poll_period_s <= 0:
+            raise ValueError("poll period must be positive")
+        slot = int((now - self.poll_offset_s) // self.poll_period_s)
+        if now < self.poll_offset_s or slot <= self._last_poll_slot:
+            return False
+        self._last_poll_slot = slot
+        return self.poll(database, now)
+
+    def path_to(self, dst_endpoint: int) -> tuple[str, ...] | None:
+        """The installed site path toward a destination endpoint."""
+        return self.paths.get(dst_endpoint)

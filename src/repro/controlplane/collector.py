@@ -1,0 +1,162 @@
+"""The measurement backend: host flow reports → demand matrix.
+
+Closes the loop the paper describes in §5.1: every TE interval, each
+endpoint agent reads its host's ``traffic_map ⨝ inf_map`` and ships
+``(instance, destination, bytes)`` records to a backend; the backend
+aggregates them into the endpoint-pair demand matrix the optimizer
+consumes next interval.
+
+This module is that backend.  It knows the endpoint→site attachment (the
+layout) and the catalog's site-pair ordering, converts byte counts over
+the interval into Gbps demands, and tags each pair with its QoS class
+(provided by the tenant's service registration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.qos import QoSClass
+from ..traffic.demand import DemandMatrix, PairDemands
+
+if TYPE_CHECKING:
+    from ..topology.contraction import TwoLayerTopology
+
+__all__ = ["FlowRecord", "DemandCollector"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One agent-reported flow measurement.
+
+    Attributes:
+        src_endpoint: Source endpoint (instance) id.
+        dst_endpoint: Destination endpoint id.
+        bytes_sent: Bytes observed during the interval.
+        qos: The flow's service class.
+    """
+
+    src_endpoint: int
+    dst_endpoint: int
+    bytes_sent: int
+    qos: QoSClass = QoSClass.CLASS2
+
+    def __post_init__(self) -> None:
+        if self.bytes_sent < 0:
+            raise ValueError("bytes_sent must be non-negative")
+
+
+class DemandCollector:
+    """Aggregates per-interval flow records into a demand matrix.
+
+    Args:
+        topology: Supplies the endpoint→site layout and the site-pair
+            ordering the matrix must align with.
+        interval_seconds: TE interval length (converts bytes → Gbps).
+
+    Records for endpoint pairs whose site pair has no tunnels in the
+    catalog are counted in :attr:`unroutable_bytes` instead of the matrix
+    (the optimizer could not act on them anyway).
+    """
+
+    def __init__(
+        self,
+        topology: "TwoLayerTopology",
+        interval_seconds: float = 300.0,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+        self.topology = topology
+        self.interval_seconds = interval_seconds
+        # (src_ep, dst_ep) -> [bytes, qos value]
+        self._flows: dict[tuple[int, int], list] = {}
+        self.unroutable_bytes = 0
+
+    def ingest(self, record: FlowRecord) -> None:
+        """Add one agent report (same-pair reports accumulate)."""
+        src_site = self.topology.layout.site_of(record.src_endpoint)
+        dst_site = self.topology.layout.site_of(record.dst_endpoint)
+        if not self.topology.catalog.has_pair(src_site, dst_site):
+            self.unroutable_bytes += record.bytes_sent
+            return
+        key = (record.src_endpoint, record.dst_endpoint)
+        entry = self._flows.setdefault(key, [0, record.qos.value])
+        entry[0] += record.bytes_sent
+        entry[1] = record.qos.value  # latest registration wins
+
+    def ingest_host_report(
+        self,
+        volumes_by_instance: dict[int, int],
+        destination_of: dict[int, int],
+        qos_of: dict[int, QoSClass] | None = None,
+    ) -> None:
+        """Convenience: ingest a host's ``collect_flows()`` output.
+
+        Args:
+            volumes_by_instance: ``HostStack.collect_flows()`` result.
+            destination_of: Instance id -> destination endpoint id (from
+                the tenant's connection registry).
+            qos_of: Optional instance id -> QoS class.
+        """
+        for instance, byte_count in volumes_by_instance.items():
+            if instance not in destination_of:
+                self.unroutable_bytes += byte_count
+                continue
+            self.ingest(
+                FlowRecord(
+                    src_endpoint=instance,
+                    dst_endpoint=destination_of[instance],
+                    bytes_sent=byte_count,
+                    qos=(qos_of or {}).get(instance, QoSClass.CLASS2),
+                )
+            )
+
+    @property
+    def num_flows(self) -> int:
+        return len(self._flows)
+
+    def build_matrix(self, clear: bool = True) -> DemandMatrix:
+        """The interval's demand matrix, aligned with the catalog.
+
+        Byte counts convert to Gbps:
+        ``bytes * 8 / interval_seconds / 1e9``.
+
+        Args:
+            clear: Reset the accumulator for the next interval.
+        """
+        catalog = self.topology.catalog
+        layout = self.topology.layout
+        buckets: dict[int, list] = {
+            k: [] for k in range(catalog.num_pairs)
+        }
+        for (src, dst), (byte_count, qos_value) in self._flows.items():
+            k = catalog.pair_index(
+                layout.site_of(src), layout.site_of(dst)
+            )
+            gbps = byte_count * 8.0 / self.interval_seconds / 1e9
+            buckets[k].append((src, dst, gbps, qos_value))
+
+        per_pair = []
+        for k in range(catalog.num_pairs):
+            rows = buckets[k]
+            if not rows:
+                per_pair.append(PairDemands.empty())
+                continue
+            per_pair.append(
+                PairDemands(
+                    volumes=np.array([r[2] for r in rows]),
+                    qos=np.array([r[3] for r in rows], dtype=np.int8),
+                    src_endpoints=np.array(
+                        [r[0] for r in rows], dtype=np.int64
+                    ),
+                    dst_endpoints=np.array(
+                        [r[1] for r in rows], dtype=np.int64
+                    ),
+                )
+            )
+        if clear:
+            self._flows.clear()
+        return DemandMatrix(per_pair)

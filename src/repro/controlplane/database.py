@@ -1,0 +1,160 @@
+"""The TE database: a sharded, versioned in-memory key-value store.
+
+MegaTE replaces the controller's millions of persistent connections with a
+Redis-backed KV store the endpoints *pull* from (§3.2).  The paper's
+deployment sustains "up to 160,000 concurrent queries per second using two
+shards", scaling linearly with shards, and spreads endpoint queries over a
+time window (e.g. 10 s) so the instantaneous load stays within capacity.
+
+This model reproduces those mechanisms: hash sharding, per-second query
+accounting against per-shard capacity, and versioned reads enabling the
+cheap "is there anything new?" check of the bottom-up control loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["ShardStats", "TEDatabase", "QueryRejected"]
+
+#: Queries per second one shard sustains (two shards -> 160k, §3.2).
+SHARD_CAPACITY_QPS = 80_000
+
+
+class QueryRejected(RuntimeError):
+    """Raised when a shard's per-second query capacity is exhausted."""
+
+
+@dataclass
+class ShardStats:
+    """Counters for one shard.
+
+    Attributes:
+        queries: Total queries served.
+        rejected: Queries rejected for capacity.
+        peak_qps: Highest observed per-second load.
+    """
+
+    queries: int = 0
+    rejected: int = 0
+    peak_qps: int = 0
+
+
+@dataclass
+class _VersionedValue:
+    value: Any
+    version: int
+
+
+class TEDatabase:
+    """Sharded versioned KV store with per-second capacity accounting.
+
+    Args:
+        num_shards: Shard count (paper deployment: 2).
+        shard_capacity_qps: Per-shard sustainable queries per second.
+        enforce_capacity: When True, queries beyond a shard's per-second
+            capacity raise :class:`QueryRejected`; when False they are
+            only counted (useful for offline load studies).
+
+    Time is explicit: every operation takes a ``now`` timestamp (seconds),
+    so simulations control the clock.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        shard_capacity_qps: int = SHARD_CAPACITY_QPS,
+        enforce_capacity: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if shard_capacity_qps < 1:
+            raise ValueError("shard capacity must be positive")
+        self.num_shards = num_shards
+        self.shard_capacity_qps = shard_capacity_qps
+        self.enforce_capacity = enforce_capacity
+        self._data: list[dict[Hashable, _VersionedValue]] = [
+            {} for _ in range(num_shards)
+        ]
+        self._stats = [ShardStats() for _ in range(num_shards)]
+        self._second_load: list[dict[int, int]] = [
+            {} for _ in range(num_shards)
+        ]
+
+    # -- internals ----------------------------------------------------------
+
+    def shard_of(self, key: Hashable) -> int:
+        """Deterministic shard assignment by key hash."""
+        return hash(key) % self.num_shards
+
+    def _account(self, shard: int, now: float) -> None:
+        second = int(now)
+        loads = self._second_load[shard]
+        loads[second] = loads.get(second, 0) + 1
+        stats = self._stats[shard]
+        stats.peak_qps = max(stats.peak_qps, loads[second])
+        if (
+            self.enforce_capacity
+            and loads[second] > self.shard_capacity_qps
+        ):
+            stats.rejected += 1
+            raise QueryRejected(
+                f"shard {shard} over capacity at t={second}s"
+            )
+        stats.queries += 1
+
+    # -- API ----------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any, now: float = 0.0) -> int:
+        """Store a value; returns the new monotonically increasing version."""
+        shard = self.shard_of(key)
+        self._account(shard, now)
+        existing = self._data[shard].get(key)
+        version = (existing.version + 1) if existing else 1
+        self._data[shard][key] = _VersionedValue(value=value, version=version)
+        return version
+
+    def get(self, key: Hashable, now: float = 0.0) -> tuple[Any, int]:
+        """Read ``(value, version)``.
+
+        Raises:
+            KeyError: for an unknown key.
+            QueryRejected: when the shard is over capacity this second.
+        """
+        shard = self.shard_of(key)
+        self._account(shard, now)
+        stored = self._data[shard][key]
+        return stored.value, stored.version
+
+    def get_version(self, key: Hashable, now: float = 0.0) -> int:
+        """Read only the version — the agents' cheap freshness check.
+
+        Returns 0 for unknown keys (nothing published yet).
+        """
+        shard = self.shard_of(key)
+        self._account(shard, now)
+        stored = self._data[shard].get(key)
+        return stored.version if stored else 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def total_capacity_qps(self) -> int:
+        """Aggregate sustainable qps — linear in shards (§3.2)."""
+        return self.num_shards * self.shard_capacity_qps
+
+    def stats(self, shard: int) -> ShardStats:
+        return self._stats[shard]
+
+    def total_queries(self) -> int:
+        return sum(s.queries for s in self._stats)
+
+    def peak_qps(self) -> int:
+        """Highest single-shard per-second load observed."""
+        return max((s.peak_qps for s in self._stats), default=0)
+
+    def reset_load_accounting(self) -> None:
+        """Clear per-second counters (keep data) between experiments."""
+        self._second_load = [{} for _ in range(self.num_shards)]
+        self._stats = [ShardStats() for _ in range(self.num_shards)]

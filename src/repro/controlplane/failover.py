@@ -1,0 +1,148 @@
+"""Failure orchestration: detect → recompute → publish → converge.
+
+Ties the whole control plane together for the §6.3 story, including the
+§8 caveat: after a failure the controller recomputes in seconds, but the
+*pull-based* fleet only converges over the next poll period, so traffic
+on dead tunnels keeps dying until each endpoint learns the new config.
+A hybrid plan (persistent connections for the heavy hitters) shrinks the
+exposed volume.
+
+The orchestrator produces a loss timeline: volume delivered during
+(1) the solver's recomputation window, (2) the convergence window, and
+(3) steady state after convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..simulation.failures import surviving_volume
+from .consistency import spread_offsets
+from .hybrid import HybridPlan
+
+if TYPE_CHECKING:
+    from ..core.types import TEResult
+    from ..topology.contraction import TwoLayerTopology
+    from ..topology.failures import FailureScenario
+    from ..traffic.demand import DemandMatrix
+
+__all__ = ["FailoverTimeline", "orchestrate_failover"]
+
+
+@dataclass(frozen=True)
+class FailoverTimeline:
+    """Delivered-volume phases around one failure event.
+
+    Attributes:
+        surviving_fraction: Delivered fraction between failure and the
+            controller finishing recomputation (old configs everywhere).
+        convergence_fraction: Mean delivered fraction during the
+            convergence window (endpoints flip to new configs as they
+            poll; pushed endpoints flip instantly).
+        steady_fraction: Delivered fraction once every endpoint runs the
+            new allocation.
+        recompute_seconds: Solver window.
+        convergence_seconds: Poll period (pull fleet's worst case).
+        effective_fraction: Time-weighted average over a TE interval.
+        interval_seconds: The averaging window.
+    """
+
+    surviving_fraction: float
+    convergence_fraction: float
+    steady_fraction: float
+    recompute_seconds: float
+    convergence_seconds: float
+    interval_seconds: float
+    effective_fraction: float
+
+
+def orchestrate_failover(
+    topology: "TwoLayerTopology",
+    demands: "DemandMatrix",
+    solver,
+    scenario: "FailureScenario",
+    poll_period_s: float = 10.0,
+    interval_seconds: float = 300.0,
+    hybrid_plan: HybridPlan | None = None,
+    endpoint_volumes: np.ndarray | None = None,
+    runtime_scale: float = 1.0,
+) -> FailoverTimeline:
+    """Walk one failure through recompute + convergence.
+
+    Args:
+        topology: Healthy topology.
+        demands: The interval's demand matrix.
+        solver: TE scheme with ``solve``.
+        scenario: Fibers that fail at t = 0.
+        poll_period_s: Pull fleet's poll period (convergence window).
+        interval_seconds: TE interval for time-weighting.
+        hybrid_plan: Optional §8 hybrid plan: the pushed share of traffic
+            converges instantly instead of over the poll period.
+        endpoint_volumes: Per-endpoint volumes matching the hybrid plan
+            (required when ``hybrid_plan`` is given).
+        runtime_scale: Maps measured solver runtime to testbed scale.
+
+    Returns:
+        A :class:`FailoverTimeline`.
+    """
+    if hybrid_plan is not None and endpoint_volumes is None:
+        raise ValueError("hybrid_plan requires endpoint_volumes")
+    before = solver.solve(topology, demands)
+    failed = set(scenario.failed_links)
+    degraded = topology.with_failures(scenario.failed_links)
+    after = solver.solve(degraded, demands)
+
+    total = demands.total_demand
+    surviving = (
+        surviving_volume(topology, before, failed) / total
+        if total > 0
+        else 1.0
+    )
+    steady = after.satisfied_fraction
+
+    # Convergence: stale endpoints still deliver `surviving`, updated ones
+    # deliver `steady`.  Pull-only: the updated fraction ramps linearly
+    # over one poll period -> mean delivered = midpoint.  With a hybrid
+    # plan, the pushed volume share flips instantly.
+    pushed_share = 0.0
+    if hybrid_plan is not None:
+        volumes = np.asarray(endpoint_volumes, dtype=np.float64)
+        order = np.argsort(-volumes, kind="stable")
+        vol_total = float(volumes.sum())
+        if vol_total > 0:
+            pushed_share = (
+                float(volumes[order[: hybrid_plan.pushed_endpoints]].sum())
+                / vol_total
+            )
+    pulled_share = 1.0 - pushed_share
+    convergence = (
+        pushed_share * steady
+        + pulled_share * (surviving + steady) / 2.0
+    )
+
+    recompute = min(
+        after.runtime_s * runtime_scale, interval_seconds
+    )
+    convergence_window = min(
+        poll_period_s, max(0.0, interval_seconds - recompute)
+    )
+    steady_window = max(
+        0.0, interval_seconds - recompute - convergence_window
+    )
+    effective = (
+        recompute * surviving
+        + convergence_window * convergence
+        + steady_window * steady
+    ) / interval_seconds
+    return FailoverTimeline(
+        surviving_fraction=surviving,
+        convergence_fraction=convergence,
+        steady_fraction=steady,
+        recompute_seconds=recompute,
+        convergence_seconds=convergence_window,
+        interval_seconds=interval_seconds,
+        effective_fraction=effective,
+    )

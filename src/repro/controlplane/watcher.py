@@ -1,0 +1,122 @@
+"""Link-state watching: detecting failures and triggering recomputation.
+
+§6.3's recovery story starts before the solver runs: something must
+notice the fiber is down.  Production WANs learn this from BFD/IGP within
+tens of milliseconds to seconds.  This module models that stage:
+
+* routers (or a telemetry pipeline) feed per-link *probe observations*
+  into a :class:`LinkStateMonitor`;
+* a link is declared **down** after ``down_after`` consecutive probe
+  losses and **up** again after ``up_after`` consecutive successes
+  (the standard BFD-style hysteresis, so one lost probe does not flap
+  the whole TE system);
+* every declared transition is timestamped and handed to a callback —
+  in MegaTE, the controller's failure-triggered recompute.
+
+The detection delay this produces (probe interval × down_after) is the
+first term of the outage timeline measured by
+:func:`repro.controlplane.failover.orchestrate_failover`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["LinkEvent", "LinkStateMonitor"]
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A declared link-state transition.
+
+    Attributes:
+        link: The directed link key ``(src, dst)``.
+        up: True for recovery, False for failure.
+        time: When the transition was declared (after hysteresis).
+    """
+
+    link: tuple[str, str]
+    up: bool
+    time: float
+
+
+@dataclass
+class _LinkTrack:
+    up: bool = True
+    consecutive_losses: int = 0
+    consecutive_successes: int = 0
+
+
+class LinkStateMonitor:
+    """BFD-style link-state detector with hysteresis.
+
+    Args:
+        down_after: Consecutive probe losses before declaring down.
+        up_after: Consecutive probe successes before declaring up.
+        on_event: Callback invoked with each :class:`LinkEvent` — e.g.
+            ``lambda e: controller.run_interval(...)`` on failures.
+    """
+
+    def __init__(
+        self,
+        down_after: int = 3,
+        up_after: int = 2,
+        on_event: Callable[[LinkEvent], None] | None = None,
+    ) -> None:
+        if down_after < 1 or up_after < 1:
+            raise ValueError("hysteresis thresholds must be >= 1")
+        self.down_after = down_after
+        self.up_after = up_after
+        self.on_event = on_event
+        self._tracks: dict[tuple[str, str], _LinkTrack] = {}
+        self.events: list[LinkEvent] = []
+
+    def observe(
+        self, link: tuple[str, str], success: bool, now: float = 0.0
+    ) -> LinkEvent | None:
+        """Feed one probe observation.
+
+        Returns:
+            The declared transition, or ``None`` when the state held.
+        """
+        track = self._tracks.setdefault(link, _LinkTrack())
+        if success:
+            track.consecutive_successes += 1
+            track.consecutive_losses = 0
+            if not track.up and track.consecutive_successes >= self.up_after:
+                track.up = True
+                return self._declare(link, True, now)
+        else:
+            track.consecutive_losses += 1
+            track.consecutive_successes = 0
+            if track.up and track.consecutive_losses >= self.down_after:
+                track.up = False
+                return self._declare(link, False, now)
+        return None
+
+    def _declare(
+        self, link: tuple[str, str], up: bool, now: float
+    ) -> LinkEvent:
+        event = LinkEvent(link=link, up=up, time=now)
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+        return event
+
+    def is_up(self, link: tuple[str, str]) -> bool:
+        """Current declared state (unknown links are up)."""
+        track = self._tracks.get(link)
+        return track.up if track else True
+
+    def failed_links(self) -> list[tuple[str, str]]:
+        """All links currently declared down."""
+        return [
+            link for link, track in self._tracks.items() if not track.up
+        ]
+
+    def detection_delay(self, probe_interval_s: float) -> float:
+        """Worst-case failure-detection delay for a probe cadence."""
+        if probe_interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        return probe_interval_s * self.down_after

@@ -1,0 +1,51 @@
+"""MegaTE's core contribution: the contracted two-stage TE optimization."""
+
+from .batch import BatchSSPInstance, solve_ssp_batch
+from .exact import ExactSolution, solve_max_all_flow
+from .fastssp import FastSSPResult, fast_ssp
+from .formulation import MaxAllFlowProblem
+from .parallel import parallel_map
+from .qos import PRIORITY_ORDER, QoSClass
+from .siteflow import solve_max_site_flow
+from .ssp import (
+    SSPSolution,
+    brute_force_ssp,
+    dp_ssp,
+    greedy_ssp,
+    meet_in_the_middle_ssp,
+)
+from .twostage import MegaTEOptimizer
+from .types import (
+    FeasibilityReport,
+    FlowAssignment,
+    SiteAllocation,
+    TEResult,
+    UNASSIGNED,
+    check_feasibility,
+)
+
+__all__ = [
+    "MaxAllFlowProblem",
+    "MegaTEOptimizer",
+    "QoSClass",
+    "PRIORITY_ORDER",
+    "fast_ssp",
+    "FastSSPResult",
+    "dp_ssp",
+    "greedy_ssp",
+    "brute_force_ssp",
+    "meet_in_the_middle_ssp",
+    "SSPSolution",
+    "solve_max_site_flow",
+    "solve_max_all_flow",
+    "ExactSolution",
+    "parallel_map",
+    "TEResult",
+    "FlowAssignment",
+    "SiteAllocation",
+    "FeasibilityReport",
+    "check_feasibility",
+    "UNASSIGNED",
+    "BatchSSPInstance",
+    "solve_ssp_batch",
+]

@@ -1,0 +1,209 @@
+"""Exact solvers for MaxAllFlow: MILP and its LP relaxation.
+
+The MILP solves formulation (1) of the paper exactly — binary ``f_{k,t}^i``
+per endpoint flow and tunnel — and is tractable only for small instances
+(it is the NP-hard problem MegaTE exists to avoid).  It serves as the
+optimality oracle in tests and small-scale experiments.
+
+The LP relaxation allows fractional splitting and is the core of the
+**LP-all** baseline (§6.1): an MCF over endpoint-pair demands.  Its optimum
+upper-bounds the MILP optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from .formulation import MaxAllFlowProblem
+
+__all__ = ["ExactSolution", "solve_max_all_flow"]
+
+#: Refuse to build exact models bigger than this many variables.
+MAX_EXACT_VARIABLES = 2_000_000
+
+
+@dataclass
+class ExactSolution:
+    """Solution of the exact (or relaxed) MaxAllFlow model.
+
+    Attributes:
+        fractions: For each site pair ``k``, an ``(|I_k|, |T_k|)`` array of
+            tunnel fractions per flow.  Binary for the MILP; possibly
+            fractional for the relaxation.
+        objective: Value of objective (1).
+        satisfied_volume: ``Σ d_k^i f_{k,t}^i`` (counting fractions).
+        relaxed: Whether this is the LP relaxation.
+    """
+
+    fractions: list[np.ndarray]
+    objective: float
+    satisfied_volume: float
+    relaxed: bool
+
+    def integral_assignment(self) -> list[np.ndarray]:
+        """Per-flow tunnel choice: argmax fraction if ≥ 0.5 else rejected.
+
+        Exact for MILP output (fractions are 0/1); a heuristic rounding for
+        the relaxation.
+        """
+        out = []
+        for frac in self.fractions:
+            if frac.size == 0:
+                out.append(np.full(frac.shape[0], -1, dtype=np.int32))
+                continue
+            best = np.argmax(frac, axis=1)
+            mass = frac[np.arange(frac.shape[0]), best]
+            assigned = np.where(mass >= 0.5, best, -1).astype(np.int32)
+            out.append(assigned)
+        return out
+
+
+def _build_model(problem: MaxAllFlowProblem):
+    """Shared constraint construction for MILP and LP relaxation.
+
+    Variable layout: for site pair k with |I_k| flows and |T_k| tunnels,
+    a contiguous block of |I_k| * |T_k| variables, flow-major.
+    """
+    catalog = problem.topology.catalog
+    demands = problem.demands
+    eps = problem.effective_epsilon
+    link_index = problem.link_index
+
+    blocks: list[tuple[int, int, int]] = []  # (var_offset, n_flows, n_tunnels)
+    offset = 0
+    cost_parts: list[np.ndarray] = []
+    cap_rows: list[int] = []
+    cap_cols: list[int] = []
+    cap_vals: list[float] = []
+    one_rows: list[int] = []
+    one_cols: list[int] = []
+    flow_row = 0
+
+    for k in range(catalog.num_pairs):
+        tunnels = catalog.tunnels(k)
+        volumes = demands.pair(k).volumes
+        n_flows, n_tunnels = volumes.size, len(tunnels)
+        blocks.append((offset, n_flows, n_tunnels))
+        if n_flows == 0 or n_tunnels == 0:
+            flow_row += n_flows
+            continue
+        weights = np.array([t.weight for t in tunnels])
+        # Objective: maximize d * (1 - eps*w) per chosen (flow, tunnel).
+        gain = volumes[:, None] * (1.0 - eps * weights[None, :])
+        cost_parts.append(-gain.ravel())
+        # Capacity: volume d lands on every link of the chosen tunnel.
+        for t_idx, tunnel in enumerate(tunnels):
+            cols = offset + np.arange(n_flows) * n_tunnels + t_idx
+            for key in tunnel.links:
+                row = link_index[key]
+                cap_rows.extend([row] * n_flows)
+                cap_cols.extend(cols.tolist())
+                cap_vals.extend(volumes.tolist())
+        # One-tunnel-per-flow rows.
+        for i in range(n_flows):
+            one_rows.extend([flow_row + i] * n_tunnels)
+            one_cols.extend(
+                range(offset + i * n_tunnels, offset + (i + 1) * n_tunnels)
+            )
+        offset += n_flows * n_tunnels
+        flow_row += n_flows
+
+    num_vars = offset
+    if num_vars > MAX_EXACT_VARIABLES:
+        raise ValueError(
+            f"exact model too large ({num_vars} variables); use the "
+            "two-stage optimizer instead"
+        )
+    cost = (
+        np.concatenate(cost_parts)
+        if cost_parts
+        else np.empty(0, dtype=np.float64)
+    )
+    cap_matrix = sparse.coo_matrix(
+        (cap_vals, (cap_rows, cap_cols)),
+        shape=(len(link_index), num_vars),
+    )
+    one_matrix = sparse.coo_matrix(
+        (np.ones(len(one_rows)), (one_rows, one_cols)),
+        shape=(flow_row, num_vars),
+    )
+    a_ub = sparse.vstack([cap_matrix, one_matrix], format="csc")
+    b_ub = np.concatenate([problem.capacities, np.ones(flow_row)])
+    return blocks, cost, a_ub, b_ub, num_vars
+
+
+def solve_max_all_flow(
+    problem: MaxAllFlowProblem, relaxed: bool = False
+) -> ExactSolution:
+    """Solve MaxAllFlow exactly (MILP) or as its LP relaxation.
+
+    Args:
+        problem: The TE input.
+        relaxed: ``True`` solves the LP relaxation (flows may split across
+            tunnels) — the LP-all baseline's core.
+
+    Returns:
+        An :class:`ExactSolution`.
+
+    Raises:
+        ValueError: if the instance exceeds :data:`MAX_EXACT_VARIABLES`.
+        RuntimeError: if the solver reports failure.
+    """
+    blocks, cost, a_ub, b_ub, num_vars = _build_model(problem)
+    if num_vars == 0:
+        return ExactSolution(
+            fractions=[
+                np.zeros((problem.demands.pair(k).num_pairs, 0))
+                for k in range(problem.demands.num_site_pairs)
+            ],
+            objective=0.0,
+            satisfied_volume=0.0,
+            relaxed=relaxed,
+        )
+    if relaxed:
+        outcome = linprog(
+            cost,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=(0.0, 1.0),
+            method="highs",
+        )
+        if not outcome.success:
+            raise RuntimeError(f"LP relaxation failed: {outcome.message}")
+        x = np.clip(outcome.x, 0.0, 1.0)
+        objective = -float(outcome.fun)
+    else:
+        constraints = LinearConstraint(a_ub, -np.inf, b_ub)
+        outcome = milp(
+            c=cost,
+            constraints=constraints,
+            integrality=np.ones(num_vars),
+            bounds=Bounds(0.0, 1.0),
+        )
+        if not outcome.success:
+            raise RuntimeError(f"MaxAllFlow MILP failed: {outcome.status}")
+        x = np.clip(np.round(outcome.x), 0.0, 1.0)
+        objective = -float(outcome.fun)
+
+    fractions: list[np.ndarray] = []
+    satisfied = 0.0
+    for k, (offset, n_flows, n_tunnels) in enumerate(blocks):
+        if n_flows == 0 or n_tunnels == 0:
+            fractions.append(np.zeros((n_flows, n_tunnels)))
+            continue
+        frac = x[offset : offset + n_flows * n_tunnels].reshape(
+            n_flows, n_tunnels
+        )
+        fractions.append(frac)
+        volumes = problem.demands.pair(k).volumes
+        satisfied += float((volumes[:, None] * frac).sum())
+    return ExactSolution(
+        fractions=fractions,
+        objective=objective,
+        satisfied_volume=satisfied,
+        relaxed=relaxed,
+    )

@@ -1,0 +1,118 @@
+"""The MaxAllFlow problem container (paper §4.1, Table 1).
+
+Bundles topology, tunnels and endpoint-granular demands into the TE input,
+validates their alignment, and precomputes the indexing that solvers share:
+flattened ``(k, t)`` variable offsets and the link-incidence structure
+``L(t, e)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
+    from ..topology.contraction import TwoLayerTopology
+    from ..traffic.demand import DemandMatrix
+
+__all__ = ["MaxAllFlowProblem"]
+
+
+@dataclass
+class MaxAllFlowProblem:
+    """TE input: maximize satisfied endpoint demand over tunnels.
+
+    Attributes:
+        topology: Contracted two-layer topology (sites, tunnels, endpoints).
+        demands: Endpoint-pair demands per site pair, aligned with the
+            topology's tunnel-catalog pair ordering.
+        epsilon: The ``ε`` of objective (1), trading throughput against
+            path length.  ``None`` auto-selects ``0.1 / max(w_t)`` so the
+            shortness preference never dominates throughput.
+    """
+
+    topology: "TwoLayerTopology"
+    demands: "DemandMatrix"
+    epsilon: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.demands.num_site_pairs != self.topology.catalog.num_pairs:
+            raise ValueError(
+                "demand matrix does not align with tunnel catalog "
+                f"({self.demands.num_site_pairs} vs "
+                f"{self.topology.catalog.num_pairs} site pairs)"
+            )
+
+    @cached_property
+    def effective_epsilon(self) -> float:
+        """The ε actually used in objectives."""
+        if self.epsilon is not None:
+            return self.epsilon
+        max_weight = 0.0
+        for _, _, tunnel in self.topology.catalog.all_tunnels():
+            max_weight = max(max_weight, tunnel.weight)
+        return 0.1 / max_weight if max_weight > 0 else 0.0
+
+    @cached_property
+    def link_index(self) -> dict[tuple[str, str], int]:
+        """Directed link key -> row index, shared by all LP builders."""
+        return {
+            link.key: idx
+            for idx, link in enumerate(self.topology.network.links)
+        }
+
+    @cached_property
+    def capacities(self) -> np.ndarray:
+        """Capacity vector aligned with :attr:`link_index`."""
+        return np.array(
+            [link.capacity for link in self.topology.network.links],
+            dtype=np.float64,
+        )
+
+    @cached_property
+    def tunnel_offsets(self) -> np.ndarray:
+        """Start offset of each site pair's tunnels in the flat (k,t) space.
+
+        ``offsets[k] .. offsets[k+1]`` are the flat variable indices of
+        ``T_k``; ``offsets[-1]`` is the total tunnel count.
+        """
+        counts = [
+            len(self.topology.catalog.tunnels(k))
+            for k in range(self.topology.catalog.num_pairs)
+        ]
+        return np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+    @property
+    def num_tunnel_vars(self) -> int:
+        """Total tunnels across all site pairs."""
+        return int(self.tunnel_offsets[-1])
+
+    @cached_property
+    def tunnel_weights(self) -> np.ndarray:
+        """``w_t`` per flat tunnel variable."""
+        weights = np.empty(self.num_tunnel_vars, dtype=np.float64)
+        pos = 0
+        for k in range(self.topology.catalog.num_pairs):
+            for tunnel in self.topology.catalog.tunnels(k):
+                weights[pos] = tunnel.weight
+                pos += 1
+        return weights
+
+    def tunnel_link_incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse COO of ``L(t, e)``: (link_row, flat_tunnel_col) pairs."""
+        rows: list[int] = []
+        cols: list[int] = []
+        link_index = self.link_index
+        pos = 0
+        for k in range(self.topology.catalog.num_pairs):
+            for tunnel in self.topology.catalog.tunnels(k):
+                for key in tunnel.links:
+                    rows.append(link_index[key])
+                    cols.append(pos)
+                pos += 1
+        return np.asarray(rows, dtype=np.int64), np.asarray(
+            cols, dtype=np.int64
+        )

@@ -1,0 +1,40 @@
+"""Parallel dispatch for the per-site-pair MaxEndpointFlow solves.
+
+The second-stage SSPs of different site pairs are independent (§4.2: "the
+MaxEndpointFlow problem with different site pairs can be solved in
+parallel").  The paper uses a 24-thread Xeon; this container has one core,
+so the default is serial execution, with a thread-pool option for hosts
+where it helps (FastSSP spends its time in NumPy kernels that release the
+GIL).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally with a thread pool.
+
+    Args:
+        fn: The per-item solver (must be thread-safe).
+        items: Work items, e.g. site-pair indices.
+        workers: Thread count; ``None``, 0 or 1 runs serially.
+
+    Returns:
+        Results in input order.
+    """
+    if workers is None or workers <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,43 @@
+"""QoS service classes (paper §4.1, "TE among multiple QoS classes").
+
+Traffic is split into three classes and the optimizer is invoked per class
+in priority order, updating residual link capacity between classes:
+
+* **Class 1** — highest priority: network control traffic and critical
+  time-sensitive services (e.g. cloud gaming).
+* **Class 2** — most user/internal application traffic.
+* **Class 3** — heavy bulk transfer (e.g. logs).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["QoSClass", "PRIORITY_ORDER"]
+
+
+class QoSClass(IntEnum):
+    """Service class; lower value = higher priority."""
+
+    CLASS1 = 1
+    CLASS2 = 2
+    CLASS3 = 3
+
+    @property
+    def is_time_sensitive(self) -> bool:
+        """Class 1 carries time-sensitive, latency-critical traffic."""
+        return self is QoSClass.CLASS1
+
+    @property
+    def is_bulk(self) -> bool:
+        """Class 3 carries heavy bulk transfers."""
+        return self is QoSClass.CLASS3
+
+
+#: QoS classes from highest to lowest priority — the order in which
+#: MaxAllFlow is invoked, each class consuming residual capacity.
+PRIORITY_ORDER: tuple[QoSClass, ...] = (
+    QoSClass.CLASS1,
+    QoSClass.CLASS2,
+    QoSClass.CLASS3,
+)

@@ -1,0 +1,195 @@
+"""MaxSiteFlow: the first-stage, site-level LP (paper Eq. 2).
+
+After ``SiteMerge`` aggregates endpoint demands into per-site-pair demands
+``D_k``, the first stage solves a classic multi-commodity flow LP over the
+pre-established tunnels:
+
+    max  Σ F_{k,t} − ε Σ w_t F_{k,t}
+    s.t. Σ_t F_{k,t} ≤ D_k              (demand)
+         Σ_{k,t} F_{k,t} L(t,e) ≤ c_e   (capacity)
+         F_{k,t} ≥ 0
+
+Solved with HiGHS via :func:`scipy.optimize.linprog` on sparse matrices —
+the role Gurobi plays in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .formulation import MaxAllFlowProblem
+from .types import SiteAllocation
+
+__all__ = ["solve_max_site_flow", "max_concurrent_scale"]
+
+
+def solve_max_site_flow(
+    problem: MaxAllFlowProblem,
+    site_demands: np.ndarray,
+    capacities: np.ndarray | None = None,
+    tunnel_weights: np.ndarray | None = None,
+    epsilon: float | None = None,
+) -> SiteAllocation:
+    """Solve the MaxSiteFlow LP.
+
+    Args:
+        problem: The TE input (provides tunnels, weights, link incidence).
+        site_demands: ``D_k`` per site pair — typically
+            ``problem.demands.site_demands(qos)`` from ``SiteMerge``.
+        capacities: Optional residual link capacities (aligned with
+            ``problem.link_index``); defaults to the full capacities.
+            The QoS priority loop passes shrinking residuals here.
+        tunnel_weights: Optional override for ``w_t`` per flat tunnel
+            variable — e.g. per-Gbps cost instead of latency when
+            allocating bulk traffic.
+        epsilon: Optional override for the objective's ε; defaults to
+            ``0.1 / max(w)`` of the effective weights so the shortness
+            term never dominates throughput.
+
+    Returns:
+        The optimal ``F_{k,t}`` as a :class:`SiteAllocation`.
+
+    Raises:
+        RuntimeError: if HiGHS fails (should not happen: the LP is always
+            feasible, F = 0 works).
+    """
+    catalog = problem.topology.catalog
+    if site_demands.shape != (catalog.num_pairs,):
+        raise ValueError("site_demands must have one entry per site pair")
+    if np.any(site_demands < 0):
+        raise ValueError("site demands must be non-negative")
+    caps = problem.capacities if capacities is None else capacities
+    if caps.shape != problem.capacities.shape:
+        raise ValueError("capacities must align with the link index")
+
+    num_vars = problem.num_tunnel_vars
+    offsets = problem.tunnel_offsets
+    if num_vars == 0:
+        return SiteAllocation(per_pair=[np.empty(0)] * catalog.num_pairs)
+
+    weights = (
+        problem.tunnel_weights if tunnel_weights is None else tunnel_weights
+    )
+    if weights.shape != (num_vars,):
+        raise ValueError("tunnel_weights must have one entry per tunnel")
+    if epsilon is None:
+        max_weight = float(weights.max()) if weights.size else 0.0
+        eps = (
+            problem.effective_epsilon
+            if tunnel_weights is None
+            else (0.1 / max_weight if max_weight > 0 else 0.0)
+        )
+    else:
+        eps = epsilon
+    cost = -(1.0 - eps * weights)
+
+    # Demand rows: one per site pair.
+    demand_rows = np.repeat(
+        np.arange(catalog.num_pairs), np.diff(offsets)
+    )
+    demand_cols = np.arange(num_vars)
+    demand_matrix = sparse.coo_matrix(
+        (np.ones(num_vars), (demand_rows, demand_cols)),
+        shape=(catalog.num_pairs, num_vars),
+    )
+
+    # Capacity rows: one per directed link.
+    link_rows, link_cols = problem.tunnel_link_incidence()
+    capacity_matrix = sparse.coo_matrix(
+        (np.ones(link_rows.size), (link_rows, link_cols)),
+        shape=(caps.size, num_vars),
+    )
+
+    a_ub = sparse.vstack([demand_matrix, capacity_matrix], format="csr")
+    b_ub = np.concatenate([site_demands, np.maximum(caps, 0.0)])
+
+    outcome = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=(0.0, None),
+        method="highs",
+    )
+    if not outcome.success:
+        raise RuntimeError(f"MaxSiteFlow LP failed: {outcome.message}")
+    solution = np.maximum(outcome.x, 0.0)
+    per_pair = [
+        solution[offsets[k] : offsets[k + 1]].copy()
+        for k in range(catalog.num_pairs)
+    ]
+    return SiteAllocation(per_pair=per_pair)
+
+
+def max_concurrent_scale(
+    problem: MaxAllFlowProblem,
+    site_demands: np.ndarray,
+    capacities: np.ndarray | None = None,
+) -> float:
+    """Maximum concurrent-flow scale ``α*`` for a demand mix.
+
+    Solves ``max α`` subject to every site pair carrying at least
+    ``α · D_k`` over its tunnels within link capacities — the standard
+    maximum concurrent flow LP.  ``α* · ΣD`` is the carriage capacity of
+    the network *for this traffic mix*, which is what demand-load
+    calibration needs (a plain max-flow overestimates it by abandoning
+    unfavourable site pairs).
+
+    Returns:
+        ``α*`` (may exceed 1 when the network is underloaded); ``inf``
+        when there is no demand.
+    """
+    catalog = problem.topology.catalog
+    if site_demands.shape != (catalog.num_pairs,):
+        raise ValueError("site_demands must have one entry per site pair")
+    if np.any(site_demands < 0):
+        raise ValueError("site demands must be non-negative")
+    caps = problem.capacities if capacities is None else capacities
+    num_vars = problem.num_tunnel_vars
+    offsets = problem.tunnel_offsets
+    active = np.flatnonzero(site_demands > 0)
+    if num_vars == 0 or active.size == 0:
+        return float("inf")
+
+    # Variables: [F_{k,t} ..., alpha]; maximize alpha.
+    cost = np.zeros(num_vars + 1)
+    cost[-1] = -1.0
+
+    # alpha * D_k - sum_t F_{k,t} <= 0 for demand-carrying pairs.
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for row, k in enumerate(active):
+        for col in range(offsets[k], offsets[k + 1]):
+            rows.append(row)
+            cols.append(int(col))
+            vals.append(-1.0)
+        rows.append(row)
+        cols.append(num_vars)
+        vals.append(float(site_demands[k]))
+    demand_matrix = sparse.coo_matrix(
+        (vals, (rows, cols)), shape=(active.size, num_vars + 1)
+    )
+
+    link_rows, link_cols = problem.tunnel_link_incidence()
+    capacity_matrix = sparse.coo_matrix(
+        (np.ones(link_rows.size), (link_rows, link_cols)),
+        shape=(caps.size, num_vars + 1),
+    )
+    a_ub = sparse.vstack([demand_matrix, capacity_matrix], format="csr")
+    b_ub = np.concatenate(
+        [np.zeros(active.size), np.maximum(caps, 0.0)]
+    )
+    outcome = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=(0.0, None),
+        method="highs",
+    )
+    if not outcome.success:
+        raise RuntimeError(
+            f"max concurrent flow LP failed: {outcome.message}"
+        )
+    return float(outcome.x[-1])

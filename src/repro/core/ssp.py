@@ -1,0 +1,220 @@
+"""Subset-sum algorithms: exact DP, greedy, and a brute-force oracle.
+
+``MaxEndpointFlow`` (paper §4.2 / Appendix A.2) is a subset-sum problem
+(SSP): pick endpoint demands whose total is as close as possible to, without
+exceeding, the site-level allocation ``F_{k,t}``.  This module provides the
+classic building blocks FastSSP composes, plus reference implementations
+used as test oracles.
+
+All solvers return **selected indices** into the input array, so callers can
+map choices back to endpoint pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SSPSolution",
+    "dp_ssp",
+    "greedy_ssp",
+    "brute_force_ssp",
+    "meet_in_the_middle_ssp",
+]
+
+
+@dataclass(frozen=True)
+class SSPSolution:
+    """Result of a subset-sum solve.
+
+    Attributes:
+        selected: Indices of chosen items (ascending).
+        total: Sum of the chosen values.
+    """
+
+    selected: tuple[int, ...]
+    total: float
+
+    @property
+    def num_selected(self) -> int:
+        return len(self.selected)
+
+
+def dp_ssp(values: np.ndarray, capacity: int) -> SSPSolution:
+    """Exact subset sum by dynamic programming (Bellman 1957).
+
+    Args:
+        values: Non-negative **integer** item values.
+        capacity: Integer capacity.
+
+    Returns:
+        The subset with maximum total not exceeding ``capacity``.
+
+    Complexity ``O(n * capacity)`` time — the cost FastSSP's normalization
+    step exists to shrink.
+    """
+    vals = np.asarray(values)
+    if vals.size and not np.issubdtype(vals.dtype, np.integer):
+        raise TypeError("dp_ssp requires integer values; normalize first")
+    if np.any(vals < 0):
+        raise ValueError("values must be non-negative")
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    n = int(vals.size)
+    if n == 0 or capacity == 0:
+        return SSPSolution(selected=(), total=0.0)
+
+    # choice[s] = index of the last item used to first reach sum s, -1 if
+    # unreachable, -2 for the empty sum.
+    choice = np.full(capacity + 1, -1, dtype=np.int64)
+    choice[0] = -2
+    reachable = np.zeros(capacity + 1, dtype=bool)
+    reachable[0] = True
+    for idx in range(n):
+        v = int(vals[idx])
+        if v == 0 or v > capacity:
+            continue
+        #
+
+        shifted = np.zeros(capacity + 1, dtype=bool)
+        shifted[v:] = reachable[: capacity + 1 - v]
+        newly = shifted & ~reachable
+        choice[newly] = idx
+        reachable |= shifted
+
+    best = int(np.max(np.flatnonzero(reachable)))
+    # Reconstruct: walk back through first-reacher items.  Because choice[s]
+    # records the item that *first* made s reachable, and items were
+    # processed in order, the predecessor sum s - v was reachable using only
+    # earlier items, so the walk terminates with distinct indices.
+    selected: list[int] = []
+    s = best
+    while s > 0:
+        idx = int(choice[s])
+        selected.append(idx)
+        s -= int(vals[idx])
+    selected.reverse()
+    return SSPSolution(selected=tuple(selected), total=float(best))
+
+
+def greedy_ssp(values: np.ndarray, capacity: float) -> SSPSolution:
+    """First-fit-decreasing greedy subset sum.
+
+    Scans items in descending value order, taking each that still fits.
+    After the scan every unselected item exceeds the remaining gap, which is
+    what gives FastSSP its error bound ``β ≤ min(residual)/F`` (App. A.2).
+
+    Works on real-valued inputs; ``O(n log n)``.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if np.any(vals < 0):
+        raise ValueError("values must be non-negative")
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    order = np.argsort(-vals, kind="stable")
+    remaining = float(capacity)
+    selected: list[int] = []
+    total = 0.0
+    for idx in order:
+        v = float(vals[idx])
+        if v <= remaining:
+            selected.append(int(idx))
+            total += v
+            remaining -= v
+    selected.sort()
+    return SSPSolution(selected=tuple(selected), total=total)
+
+
+def brute_force_ssp(values: np.ndarray, capacity: float) -> SSPSolution:
+    """Optimal subset sum by exhaustive search — test oracle only.
+
+    Raises:
+        ValueError: for more than 22 items (2^n blowup).
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    n = int(vals.size)
+    if n > 22:
+        raise ValueError("brute force limited to 22 items")
+    best_total = -1.0
+    best_mask = 0
+    for mask in range(1 << n):
+        total = 0.0
+        for i in range(n):
+            if mask >> i & 1:
+                total += float(vals[i])
+        if total <= capacity and total > best_total:
+            best_total = total
+            best_mask = mask
+    selected = tuple(i for i in range(n) if best_mask >> i & 1)
+    return SSPSolution(selected=selected, total=max(best_total, 0.0))
+
+
+def meet_in_the_middle_ssp(
+    values: np.ndarray, capacity: float
+) -> SSPSolution:
+    """Optimal subset sum by Horowitz-Sahni meet-in-the-middle (1974).
+
+    The classic ``O(2^(n/2))`` exact algorithm the paper cites among SSP
+    foundations: split the items in half, enumerate each half's subset
+    sums, sort one side and binary-search the best partner for every
+    subset of the other.  Practical up to ~40 items — a much larger exact
+    oracle than brute force.
+
+    Args:
+        values: Non-negative item values (real-valued).
+        capacity: Capacity bound.
+
+    Raises:
+        ValueError: for more than 40 items.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if np.any(vals < 0):
+        raise ValueError("values must be non-negative")
+    n = int(vals.size)
+    if n > 40:
+        raise ValueError("meet-in-the-middle limited to 40 items")
+    if n == 0 or capacity <= 0:
+        return SSPSolution(selected=(), total=0.0)
+    half = n // 2
+    left, right = vals[:half], vals[half:]
+
+    def enumerate_sums(items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        m = items.size
+        masks = np.arange(1 << m, dtype=np.int64)
+        sums = np.zeros(1 << m, dtype=np.float64)
+        for bit in range(m):
+            sums[(masks >> bit) & 1 == 1] += items[bit]
+        return sums, masks
+
+    left_sums, left_masks = enumerate_sums(left)
+    right_sums, right_masks = enumerate_sums(right)
+    order = np.argsort(right_sums, kind="stable")
+    right_sorted = right_sums[order]
+
+    best_total = -1.0
+    best_pair = (0, 0)
+    for l_sum, l_mask in zip(left_sums, left_masks):
+        budget = capacity - l_sum
+        if budget < 0:
+            continue
+        # Relative slack: the two halves' sums are accumulated in a
+        # different order than a caller's total, so an exactly-full
+        # subset can land a few ulps above the remaining budget.  The
+        # returned total may exceed the capacity by at most ~1e-12
+        # relative — far below any physical bandwidth resolution.
+        slack = budget * (1.0 + 1e-12) + 1e-12
+        idx = int(np.searchsorted(right_sorted, slack, side="right")) - 1
+        if idx < 0:
+            continue
+        total = l_sum + right_sorted[idx]
+        if total > best_total:
+            best_total = total
+            best_pair = (int(l_mask), int(right_masks[order[idx]]))
+    if best_total < 0:
+        return SSPSolution(selected=(), total=0.0)
+    l_mask, r_mask = best_pair
+    selected = [i for i in range(half) if l_mask >> i & 1]
+    selected += [half + i for i in range(n - half) if r_mask >> i & 1]
+    return SSPSolution(selected=tuple(selected), total=float(best_total))

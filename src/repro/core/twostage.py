@@ -1,0 +1,272 @@
+"""The MegaTE two-stage optimizer (paper Algorithm 1 + §4.1 QoS loop).
+
+Per QoS class, in priority order:
+
+1. **SiteMerge** — aggregate the class's endpoint demands to ``D_k``.
+2. **MaxSiteFlow** — site-level LP over residual link capacities, yielding
+   ``F_{k,t}``.
+3. **MaxEndpointFlow** — per site pair, walk the tunnels in ascending
+   weight and fill each tunnel's ``F_{k,t}`` with endpoint flows via
+   :func:`~repro.core.fastssp.fast_ssp`; a flow lands on exactly one tunnel
+   or is rejected.
+4. Subtract the class's placed traffic from link capacities and move to the
+   next class.
+
+The per-site-pair step 3 solves are independent and dispatched through
+:func:`~repro.core.parallel.parallel_map`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from .fastssp import fast_ssp
+from .formulation import MaxAllFlowProblem
+from .parallel import parallel_map
+from .qos import PRIORITY_ORDER, QoSClass
+from .siteflow import solve_max_site_flow
+from .types import FlowAssignment, SiteAllocation, TEResult, UNASSIGNED
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
+    from ..topology.contraction import TwoLayerTopology
+    from ..traffic.demand import DemandMatrix
+
+__all__ = ["MegaTEOptimizer"]
+
+
+@dataclass
+class _PairOutcome:
+    """Second-stage result for one site pair within one QoS class."""
+
+    k: int
+    assigned_tunnel: np.ndarray  # over the class's flow indices, -1 = reject
+    placed_per_tunnel: np.ndarray  # volume placed per tunnel
+
+
+class MegaTEOptimizer:
+    """Endpoint-granular TE via topology contraction and FastSSP.
+
+    Args:
+        fastssp_epsilon: Precision knob ``ε'`` of FastSSP (App. A.2).
+        objective_epsilon: The ``ε`` of objective (1); ``None`` auto-scales.
+        workers: Thread count for the parallel second stage.
+        qos_order: Priority order of QoS classes; defaults to the paper's
+            class 1 → 2 → 3.
+        class_tunnel_attribute: Tunnel attribute each class's allocation
+            prefers (the ``w_t`` of its MaxSiteFlow objective and the fill
+            order of its MaxEndpointFlow stage).  Defaults to latency
+            (``weight``) for classes 1-2 and per-Gbps cost for class 3 —
+            §7's production policy: time-sensitive traffic takes the fast
+            premium paths, bulk transfer is "accurately dispatched to the
+            low-cost path".
+    """
+
+    scheme_name = "MegaTE"
+
+    #: Default per-class tunnel preference (see class docstring).
+    DEFAULT_CLASS_ATTRIBUTE: dict[QoSClass, str] = {
+        QoSClass.CLASS1: "weight",
+        QoSClass.CLASS2: "weight",
+        QoSClass.CLASS3: "cost_per_gbps",
+    }
+
+    def __init__(
+        self,
+        fastssp_epsilon: float = 0.1,
+        objective_epsilon: float | None = None,
+        workers: int | None = None,
+        qos_order: tuple[QoSClass, ...] = PRIORITY_ORDER,
+        class_tunnel_attribute: dict[QoSClass, str] | None = None,
+    ) -> None:
+        if not 0 < fastssp_epsilon < 1:
+            raise ValueError("fastssp_epsilon must be in (0, 1)")
+        self.fastssp_epsilon = fastssp_epsilon
+        self.objective_epsilon = objective_epsilon
+        self.workers = workers
+        self.qos_order = qos_order
+        self.class_tunnel_attribute = dict(
+            self.DEFAULT_CLASS_ATTRIBUTE
+            if class_tunnel_attribute is None
+            else class_tunnel_attribute
+        )
+
+    def solve(
+        self, topology: TwoLayerTopology, demands: DemandMatrix
+    ) -> TEResult:
+        """Compute the TE allocation for one interval.
+
+        Returns:
+            A :class:`TEResult` whose assignment satisfies constraints
+            (1a)-(1c): no link overloaded, at most one tunnel per flow.
+        """
+        problem = MaxAllFlowProblem(
+            topology, demands, epsilon=self.objective_epsilon
+        )
+        catalog = topology.catalog
+        start = time.perf_counter()
+        residual = problem.capacities.astype(np.float64).copy()
+        assignment = FlowAssignment.rejecting_all(demands)
+        combined = SiteAllocation(
+            per_pair=[
+                np.zeros(len(catalog.tunnels(k)))
+                for k in range(catalog.num_pairs)
+            ]
+        )
+        satisfied = 0.0
+        stage1_s = 0.0
+        stage2_s = 0.0
+        per_class_satisfied: dict[int, float] = {}
+
+        for qos in self.qos_order:
+            class_demands = demands.site_demands(qos)
+            if not np.any(class_demands > 0):
+                continue
+
+            t0 = time.perf_counter()
+            class_weights = self._class_weights(problem, qos)
+            # Overridden weights (e.g. cost for bulk) get a stronger ε so
+            # the LP actively steers toward preferred tunnels; throughput
+            # still dominates (coefficients stay >= 0.7).
+            class_epsilon = None
+            if class_weights is not None and class_weights.size:
+                max_w = float(class_weights.max())
+                class_epsilon = 0.3 / max_w if max_w > 0 else 0.0
+            site_alloc = solve_max_site_flow(
+                problem,
+                class_demands,
+                capacities=residual,
+                tunnel_weights=class_weights,
+                epsilon=class_epsilon,
+            )
+            stage1_s += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            outcomes = parallel_map(
+                lambda k: self._solve_pair(
+                    k, qos, demands, catalog, site_alloc
+                ),
+                list(range(catalog.num_pairs)),
+                workers=self.workers,
+            )
+            stage2_s += time.perf_counter() - t0
+
+            class_satisfied = 0.0
+            for outcome in outcomes:
+                k = outcome.k
+                pair = demands.pair(k)
+                idx, volumes = pair.for_qos(qos)
+                mask = outcome.assigned_tunnel >= 0
+                assignment.per_pair[k][idx[mask]] = outcome.assigned_tunnel[
+                    mask
+                ]
+                class_satisfied += float(volumes[mask].sum())
+                combined.per_pair[k] += outcome.placed_per_tunnel
+                # Consume residual capacity on the links each tunnel uses.
+                tunnels = catalog.tunnels(k)
+                for t_index, placed in enumerate(
+                    outcome.placed_per_tunnel
+                ):
+                    if placed <= 0:
+                        continue
+                    for key in tunnels[t_index].links:
+                        residual[problem.link_index[key]] -= placed
+            np.maximum(residual, 0.0, out=residual)
+            satisfied += class_satisfied
+            per_class_satisfied[qos.value] = class_satisfied
+
+        runtime = time.perf_counter() - start
+        return TEResult(
+            scheme=self.scheme_name,
+            assignment=assignment,
+            demands=demands,
+            satisfied_volume=satisfied,
+            runtime_s=runtime,
+            site_allocation=combined,
+            stats={
+                "stage1_lp_s": stage1_s,
+                "stage2_ssp_s": stage2_s,
+                "fastssp_epsilon": self.fastssp_epsilon,
+                "satisfied_by_class": per_class_satisfied,
+            },
+        )
+
+    def _class_weights(
+        self, problem, qos: QoSClass
+    ) -> np.ndarray | None:
+        """``w_t`` override for one class, or ``None`` for the default."""
+        attribute = self.class_tunnel_attribute.get(qos, "weight")
+        if attribute == "weight":
+            return None
+        weights = np.empty(problem.num_tunnel_vars, dtype=np.float64)
+        pos = 0
+        catalog = problem.topology.catalog
+        for k in range(catalog.num_pairs):
+            for tunnel in catalog.tunnels(k):
+                weights[pos] = getattr(tunnel, attribute)
+                pos += 1
+        return weights
+
+    def _solve_pair(
+        self,
+        k: int,
+        qos: QoSClass,
+        demands: DemandMatrix,
+        catalog,
+        site_alloc: SiteAllocation,
+    ) -> _PairOutcome:
+        """MaxEndpointFlow for one site pair and class.
+
+        Tunnels are processed in ascending order of the class's preferred
+        attribute — latency for classes 1-2, cost for class 3 — so the
+        most preferred tunnel's allocation is filled first (App. A.2's
+        sequential dependency) and each subsequent tunnel chooses among
+        the still-unassigned flows.
+        """
+        pair = demands.pair(k)
+        _, volumes = pair.for_qos(qos)
+        tunnels = catalog.tunnels(k)
+        assigned = np.full(volumes.size, UNASSIGNED, dtype=np.int32)
+        placed = np.zeros(len(tunnels), dtype=np.float64)
+        if volumes.size == 0 or not tunnels:
+            return _PairOutcome(
+                k=k, assigned_tunnel=assigned, placed_per_tunnel=placed
+            )
+        attribute = self.class_tunnel_attribute.get(qos, "weight")
+        fill_order = np.argsort(
+            [getattr(t, attribute) for t in tunnels], kind="stable"
+        )
+        for t_index in fill_order:
+            capacity = site_alloc.per_pair[k][t_index]
+            if capacity <= 0:
+                continue
+            free = np.flatnonzero(assigned == UNASSIGNED)
+            if free.size == 0:
+                break
+            result = fast_ssp(
+                volumes[free], capacity, epsilon=self.fastssp_epsilon
+            )
+            chosen = free[list(result.selected)]
+            assigned[chosen] = t_index
+            placed[t_index] = result.total
+        # Reconciliation pass: FastSSP may leave slack on several tunnels
+        # that no single remaining flow fit at the time; retry the largest
+        # leftover flows against each tunnel's remaining allocation.
+        leftovers = site_alloc.per_pair[k] - placed
+        free = np.flatnonzero(assigned == UNASSIGNED)
+        if free.size and np.any(leftovers > 0):
+            for i in free[np.argsort(-volumes[free], kind="stable")]:
+                volume = volumes[i]
+                for t_index in fill_order:
+                    if volume <= leftovers[t_index]:
+                        assigned[i] = t_index
+                        placed[t_index] += volume
+                        leftovers[t_index] -= volume
+                        break
+        return _PairOutcome(
+            k=k, assigned_tunnel=assigned, placed_per_tunnel=placed
+        )

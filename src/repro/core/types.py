@@ -1,0 +1,195 @@
+"""Solution types shared by all TE solvers (MegaTE and baselines).
+
+Every solver in this repository — the two-stage MegaTE optimizer, the exact
+MILP, LP-all, NCFlow- and TEAL-style baselines — returns a
+:class:`TEResult` so experiments can compare them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
+    from ..topology.contraction import TwoLayerTopology
+    from ..traffic.demand import DemandMatrix
+
+__all__ = [
+    "SiteAllocation",
+    "FlowAssignment",
+    "TEResult",
+    "FeasibilityReport",
+    "check_feasibility",
+]
+
+#: Tunnel index meaning "flow rejected / not placed".
+UNASSIGNED = -1
+
+
+@dataclass
+class SiteAllocation:
+    """Site-level bandwidth allocation ``F_{k,t}`` (MaxSiteFlow output).
+
+    Attributes:
+        per_pair: For each site pair ``k``, an array of allocations, one
+            entry per tunnel in ``T_k`` (catalog order = ascending weight).
+    """
+
+    per_pair: list[np.ndarray]
+
+    @property
+    def total(self) -> float:
+        """Total allocated site-level bandwidth."""
+        return float(sum(arr.sum() for arr in self.per_pair))
+
+    def allocation(self, k: int, t: int) -> float:
+        return float(self.per_pair[k][t])
+
+
+@dataclass
+class FlowAssignment:
+    """Endpoint-level assignment ``f_{k,t}^i`` in compact form.
+
+    Attributes:
+        per_pair: For each site pair ``k``, an int array over endpoint
+            pairs ``i ∈ I_k`` holding the assigned tunnel index within
+            ``T_k``, or :data:`UNASSIGNED` for rejected flows.
+    """
+
+    per_pair: list[np.ndarray]
+
+    def tunnel_of(self, k: int, i: int) -> int:
+        """Assigned tunnel index of flow ``(k, i)``, or -1 if rejected."""
+        return int(self.per_pair[k][i])
+
+    def num_assigned(self) -> int:
+        return int(sum((arr >= 0).sum() for arr in self.per_pair))
+
+    def num_flows(self) -> int:
+        return int(sum(arr.size for arr in self.per_pair))
+
+    @classmethod
+    def rejecting_all(cls, demands: DemandMatrix) -> "FlowAssignment":
+        """An assignment with every flow rejected (useful as a base case)."""
+        return cls(
+            per_pair=[
+                np.full(p.num_pairs, UNASSIGNED, dtype=np.int32)
+                for p in demands
+            ]
+        )
+
+
+@dataclass
+class TEResult:
+    """A TE solver's output for one TE interval.
+
+    Attributes:
+        scheme: Solver name (``"MegaTE"``, ``"LP-all"``, ...).
+        assignment: Endpoint-level tunnel assignment.  Baselines that split
+            flows fractionally still emit an integral per-flow view by
+            rounding; their ``site_allocation`` carries the fractional
+            truth.
+        site_allocation: Site-level ``F_{k,t}``, when the scheme computes
+            one (``None`` for purely endpoint-level schemes).
+        demands: The demand matrix solved against.
+        satisfied_volume: Total demand volume placed (Gbps).
+        runtime_s: Solver wall-clock seconds (algorithm only, no I/O).
+        stats: Free-form solver diagnostics.
+    """
+
+    scheme: str
+    assignment: FlowAssignment
+    demands: DemandMatrix
+    satisfied_volume: float
+    runtime_s: float
+    site_allocation: SiteAllocation | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def total_volume(self) -> float:
+        return self.demands.total_demand
+
+    @property
+    def satisfied_fraction(self) -> float:
+        """The paper's *satisfied demand* metric (§6.1): placed / offered."""
+        total = self.total_volume
+        return self.satisfied_volume / total if total > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of validating a :class:`TEResult` against the topology.
+
+    Attributes:
+        feasible: True when no link is overloaded and every flow uses at
+            most one live tunnel.
+        max_overload: Largest ``load / capacity`` across links (1.0 = full).
+        violations: Human-readable violation descriptions (empty if
+            feasible).
+        link_loads: Load per directed link key.
+    """
+
+    feasible: bool
+    max_overload: float
+    violations: tuple[str, ...]
+    link_loads: dict
+
+
+def check_feasibility(
+    topology: TwoLayerTopology,
+    result: TEResult,
+    tolerance: float = 1e-6,
+) -> FeasibilityReport:
+    """Validate constraints (1a)-(1c) of the MaxAllFlow formulation.
+
+    Computes per-link load from the endpoint-level assignment and compares
+    with capacities; also checks every assigned tunnel index is valid for
+    its site pair.
+    """
+    loads: dict[tuple[str, str], float] = {
+        link.key: 0.0 for link in topology.network.links
+    }
+    violations: list[str] = []
+    for k, pair in enumerate(result.demands):
+        tunnels = topology.catalog.tunnels(k)
+        assigned = result.assignment.per_pair[k]
+        if assigned.size != pair.num_pairs:
+            violations.append(f"site pair {k}: assignment size mismatch")
+            continue
+        for t_index in np.unique(assigned):
+            if t_index < 0:
+                continue
+            if t_index >= len(tunnels):
+                violations.append(
+                    f"site pair {k}: tunnel index {t_index} out of range"
+                )
+                continue
+            volume = float(pair.volumes[assigned == t_index].sum())
+            for link_key in tunnels[int(t_index)].links:
+                if link_key not in loads:
+                    violations.append(
+                        f"site pair {k}: tunnel uses dead link {link_key}"
+                    )
+                else:
+                    loads[link_key] += volume
+
+    max_overload = 0.0
+    for link in topology.network.links:
+        load = loads[link.key]
+        if link.capacity > 0:
+            max_overload = max(max_overload, load / link.capacity)
+            if load > link.capacity * (1.0 + tolerance):
+                violations.append(
+                    f"link {link.key}: load {load:.3f} exceeds capacity "
+                    f"{link.capacity:.3f}"
+                )
+        elif load > tolerance:
+            violations.append(f"link {link.key}: load on zero-capacity link")
+    return FeasibilityReport(
+        feasible=not violations,
+        max_overload=max_overload,
+        violations=tuple(violations),
+        link_loads=loads,
+    )

@@ -1,0 +1,72 @@
+"""Data plane: eBPF host stack, VXLAN + MegaTE SR encapsulation, SR routers."""
+
+from .ebpf import EBPFMap, EBPFProgram, Hook, Kernel, MapFullError
+from .fragmentation import build_udp_fragments
+from .host_stack import HostStack, WirePacket
+from .maps import (
+    CONTK_MAP,
+    ENV_MAP,
+    FRAG_MAP,
+    INF_MAP,
+    PATH_MAP,
+    TRAFFIC_MAP,
+    create_megate_maps,
+)
+from .packet import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    FiveTuple,
+    IPv4Header,
+    MacAddress,
+    PROTO_TCP,
+    PROTO_UDP,
+    UDPHeader,
+)
+from .pipeline import DeliveryRecord, WANFabric
+from .reassembly import (
+    InnerPacket,
+    ReassembledDatagram,
+    Reassembler,
+    decapsulate,
+)
+from .router import ForwardingDecision, SRRouter
+from .sr_header import SiteIdCodec, SRHeader
+from .vxlan import VXLANHeader, VXLAN_PORT
+
+__all__ = [
+    "Kernel",
+    "EBPFMap",
+    "EBPFProgram",
+    "Hook",
+    "MapFullError",
+    "create_megate_maps",
+    "ENV_MAP",
+    "CONTK_MAP",
+    "INF_MAP",
+    "TRAFFIC_MAP",
+    "FRAG_MAP",
+    "PATH_MAP",
+    "HostStack",
+    "WirePacket",
+    "SRRouter",
+    "ForwardingDecision",
+    "WANFabric",
+    "DeliveryRecord",
+    "SRHeader",
+    "SiteIdCodec",
+    "VXLANHeader",
+    "VXLAN_PORT",
+    "EthernetHeader",
+    "IPv4Header",
+    "UDPHeader",
+    "MacAddress",
+    "FiveTuple",
+    "ETHERTYPE_IPV4",
+    "PROTO_UDP",
+    "PROTO_TCP",
+    "build_udp_fragments",
+    "decapsulate",
+    "InnerPacket",
+    "Reassembler",
+    "ReassembledDatagram",
+]

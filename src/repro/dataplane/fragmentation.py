@@ -1,0 +1,87 @@
+"""IP fragmentation of oversized datagrams (§5.1).
+
+A datagram larger than the MTU is split into fragments sharing one IP
+*identification* (ipid); only the first fragment carries the L4 header, so
+only it reveals the ports of the five tuple.  MegaTE's TC program handles
+this with ``frag_map`` (ipid -> five tuple); this module produces the
+fragments that program must cope with.
+"""
+
+from __future__ import annotations
+
+from .packet import (
+    FiveTuple,
+    IPV4_HEADER_LEN,
+    IPv4Header,
+    UDP_HEADER_LEN,
+    UDPHeader,
+)
+
+__all__ = ["build_udp_fragments"]
+
+
+def build_udp_fragments(
+    flow: FiveTuple,
+    payload_length: int,
+    ipid: int,
+    mtu: int = 1500,
+) -> list[bytes]:
+    """Build the IP packet(s) of one UDP datagram, fragmenting at the MTU.
+
+    Args:
+        flow: The datagram's five tuple (protocol must be UDP).
+        payload_length: UDP payload bytes (synthetic zeros).
+        ipid: IP identification shared by all fragments.
+        mtu: Link MTU in bytes (IP header included).
+
+    Returns:
+        Encoded IPv4 packets: a single packet when it fits, otherwise
+        fragments with correct offsets and MF flags.
+    """
+    if payload_length < 0:
+        raise ValueError("payload_length must be non-negative")
+    if payload_length > 0xFFFF - UDP_HEADER_LEN:
+        raise ValueError(
+            "UDP payload limited to 65527 bytes; split the transfer "
+            "into multiple datagrams"
+        )
+    if mtu < IPV4_HEADER_LEN + 8:
+        raise ValueError("mtu too small for IPv4")
+    udp = UDPHeader(
+        src_port=flow.src_port,
+        dst_port=flow.dst_port,
+        length=UDP_HEADER_LEN + payload_length,
+    )
+    l4_bytes = udp.encode() + bytes(payload_length)
+    total_length = IPV4_HEADER_LEN + len(l4_bytes)
+    if total_length <= mtu:
+        header = IPv4Header(
+            src=flow.src_ip,
+            dst=flow.dst_ip,
+            protocol=flow.protocol,
+            identification=ipid,
+            total_length=total_length,
+        )
+        return [header.encode() + l4_bytes]
+
+    # Fragment: payload per fragment must be a multiple of 8 bytes.
+    max_payload = (mtu - IPV4_HEADER_LEN) // 8 * 8
+    fragments: list[bytes] = []
+    offset = 0
+    while offset < len(l4_bytes):
+        chunk = l4_bytes[offset : offset + max_payload]
+        last = offset + len(chunk) >= len(l4_bytes)
+        flags_fragment = (offset // 8) | (
+            0 if last else IPv4Header.MORE_FRAGMENTS
+        )
+        header = IPv4Header(
+            src=flow.src_ip,
+            dst=flow.dst_ip,
+            protocol=flow.protocol,
+            identification=ipid,
+            flags_fragment=flags_fragment,
+            total_length=IPV4_HEADER_LEN + len(chunk),
+        )
+        fragments.append(header.encode() + chunk)
+        offset += len(chunk)
+    return fragments

@@ -1,0 +1,56 @@
+"""The six eBPF maps of MegaTE's host stack (§5.1-5.2, Figure 6).
+
+========== ============================ ==========================================
+map        key -> value                 written by
+========== ============================ ==========================================
+env_map    pid -> ins_id                execve tracepoint program
+contk_map  five_tuple -> pid            conntrack kprobe program
+inf_map    five_tuple -> ins_id         conntrack program (env ⨝ contk join)
+traffic_map five_tuple -> bytes         TC egress program (flow accounting)
+frag_map   ipid -> five_tuple           TC egress program (first fragment)
+path_map   (ins_id, dst_ip) -> hops     endpoint agent (TE config install)
+========== ============================ ==========================================
+"""
+
+from __future__ import annotations
+
+from .ebpf import EBPFMap, Kernel
+
+__all__ = [
+    "ENV_MAP",
+    "CONTK_MAP",
+    "INF_MAP",
+    "TRAFFIC_MAP",
+    "FRAG_MAP",
+    "PATH_MAP",
+    "create_megate_maps",
+]
+
+ENV_MAP = "env_map"
+CONTK_MAP = "contk_map"
+INF_MAP = "inf_map"
+TRAFFIC_MAP = "traffic_map"
+FRAG_MAP = "frag_map"
+PATH_MAP = "path_map"
+
+
+def create_megate_maps(
+    kernel: Kernel, max_flows: int = 1 << 20
+) -> dict[str, EBPFMap]:
+    """Create MegaTE's map layout in a kernel.
+
+    Args:
+        kernel: The kernel to create maps in.
+        max_flows: Capacity of the per-flow maps (contk/inf/traffic).
+
+    Returns:
+        Name -> map for convenience (also reachable via ``kernel.maps``).
+    """
+    return {
+        ENV_MAP: kernel.create_map(ENV_MAP, max_entries=1 << 16),
+        CONTK_MAP: kernel.create_map(CONTK_MAP, max_entries=max_flows),
+        INF_MAP: kernel.create_map(INF_MAP, max_entries=max_flows),
+        TRAFFIC_MAP: kernel.create_map(TRAFFIC_MAP, max_entries=max_flows),
+        FRAG_MAP: kernel.create_map(FRAG_MAP, max_entries=1 << 16),
+        PATH_MAP: kernel.create_map(PATH_MAP, max_entries=max_flows),
+    }

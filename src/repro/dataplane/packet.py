@@ -1,0 +1,254 @@
+"""Byte-accurate packet codecs: Ethernet, IPv4, UDP.
+
+The data-plane pipeline (Figure 7(a)) operates on real encoded bytes so the
+eBPF programs, VXLAN encapsulation, SR insertion and router parsing all
+exercise genuine wire formats.  Only the fields the system touches are
+modelled; checksums are computed for IPv4 (routers recompute on TTL
+decrement) and left zero for UDP (legal over IPv4).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MacAddress",
+    "EthernetHeader",
+    "IPv4Header",
+    "UDPHeader",
+    "FiveTuple",
+    "ETHERTYPE_IPV4",
+    "PROTO_UDP",
+    "PROTO_TCP",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_ETH_FMT = "!6s6sH"
+_IPV4_FMT = "!BBHHHBBH4s4s"
+_UDP_FMT = "!HHHH"
+
+ETH_HEADER_LEN = struct.calcsize(_ETH_FMT)
+IPV4_HEADER_LEN = struct.calcsize(_IPV4_FMT)
+UDP_HEADER_LEN = struct.calcsize(_UDP_FMT)
+
+
+@dataclass(frozen=True)
+class MacAddress:
+    """A 48-bit MAC address."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.value) != 6:
+            raise ValueError("MAC address must be 6 bytes")
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"bad MAC {text!r}")
+        return cls(bytes(int(p, 16) for p in parts))
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.value)
+
+
+def _ip_to_bytes(ip: str) -> bytes:
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {ip!r}")
+    return bytes(int(p) for p in parts)
+
+
+def _bytes_to_ip(data: bytes) -> str:
+    return ".".join(str(b) for b in data)
+
+
+def ipv4_checksum(header: bytes) -> int:
+    """RFC 791 ones-complement checksum over a header with zeroed field."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(f"!{len(header) // 2}H", header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """Ethernet II header."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            _ETH_FMT, self.dst.value, self.src.value, self.ethertype
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["EthernetHeader", bytes]:
+        if len(data) < ETH_HEADER_LEN:
+            raise ValueError("truncated Ethernet header")
+        dst, src, ethertype = struct.unpack(
+            _ETH_FMT, data[:ETH_HEADER_LEN]
+        )
+        return (
+            cls(dst=MacAddress(dst), src=MacAddress(src), ethertype=ethertype),
+            data[ETH_HEADER_LEN:],
+        )
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """IPv4 header (no options).
+
+    ``flags_fragment`` packs the 3 flag bits and 13-bit fragment offset
+    (in 8-byte units) as on the wire; ``identification`` is the *ipid* the
+    eBPF fragmentation handling keys on (§5.1).
+    """
+
+    src: str
+    dst: str
+    protocol: int = PROTO_UDP
+    identification: int = 0
+    flags_fragment: int = 0
+    ttl: int = 64
+    total_length: int = IPV4_HEADER_LEN
+    tos: int = 0
+
+    MORE_FRAGMENTS = 0x2000
+
+    @property
+    def fragment_offset_bytes(self) -> int:
+        """Fragment offset in bytes."""
+        return (self.flags_fragment & 0x1FFF) * 8
+
+    @property
+    def more_fragments(self) -> bool:
+        return bool(self.flags_fragment & self.MORE_FRAGMENTS)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for any fragment of a fragmented datagram."""
+        return self.more_fragments or self.fragment_offset_bytes > 0
+
+    @property
+    def is_first_fragment(self) -> bool:
+        return self.more_fragments and self.fragment_offset_bytes == 0
+
+    def encode(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        header = struct.pack(
+            _IPV4_FMT,
+            version_ihl,
+            self.tos,
+            self.total_length,
+            self.identification,
+            self.flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            _ip_to_bytes(self.src),
+            _ip_to_bytes(self.dst),
+        )
+        checksum = ipv4_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["IPv4Header", bytes]:
+        if len(data) < IPV4_HEADER_LEN:
+            raise ValueError("truncated IPv4 header")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack(_IPV4_FMT, data[:IPV4_HEADER_LEN])
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        zeroed = (
+            data[:10] + b"\x00\x00" + data[12:IPV4_HEADER_LEN]
+        )
+        if checksum != ipv4_checksum(zeroed):
+            raise ValueError("IPv4 checksum mismatch")
+        header = cls(
+            src=_bytes_to_ip(src),
+            dst=_bytes_to_ip(dst),
+            protocol=protocol,
+            identification=identification,
+            flags_fragment=flags_fragment,
+            ttl=ttl,
+            total_length=total_length,
+            tos=tos,
+        )
+        return header, data[IPV4_HEADER_LEN:]
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    """UDP header (checksum zero = unused, legal over IPv4)."""
+
+    src_port: int
+    dst_port: int
+    length: int = UDP_HEADER_LEN
+
+    def __post_init__(self) -> None:
+        if not UDP_HEADER_LEN <= self.length <= 0xFFFF:
+            raise ValueError(
+                f"UDP length {self.length} outside [8, 65535]"
+            )
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            _UDP_FMT, self.src_port, self.dst_port, self.length, 0
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["UDPHeader", bytes]:
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        src_port, dst_port, length, _ = struct.unpack(
+            _UDP_FMT, data[:UDP_HEADER_LEN]
+        )
+        return (
+            cls(src_port=src_port, dst_port=dst_port, length=length),
+            data[UDP_HEADER_LEN:],
+        )
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """The connection identifier conventional TE hashes on (§1 fn. 1)."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: int
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"bad port {port}")
+
+    def reversed(self) -> "FiveTuple":
+        """The reply direction's five tuple."""
+        return FiveTuple(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            protocol=self.protocol,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+        )

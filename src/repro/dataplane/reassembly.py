@@ -1,0 +1,157 @@
+"""Receive-side host path: decapsulation and IP reassembly.
+
+Completes the end-to-end story: the egress site delivers the wire packet
+to the destination host, which strips the outer Ethernet/IP/UDP/VXLAN
+(and MegaTE SR) headers, and reassembles fragmented inner datagrams by
+``(src, dst, protocol, ipid)`` — the inverse of
+:mod:`repro.dataplane.fragmentation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packet import (
+    ETH_HEADER_LEN,
+    EthernetHeader,
+    FiveTuple,
+    IPV4_HEADER_LEN,
+    IPv4Header,
+    UDP_HEADER_LEN,
+    UDPHeader,
+)
+from .sr_header import SRHeader
+from .vxlan import VXLAN_PORT, VXLANHeader
+
+__all__ = ["InnerPacket", "decapsulate", "Reassembler", "ReassembledDatagram"]
+
+
+@dataclass(frozen=True)
+class InnerPacket:
+    """The tenant packet recovered from one wire packet.
+
+    Attributes:
+        ip: The inner IPv4 header (may be a fragment).
+        l4_bytes: Everything after the inner IP header.
+        had_sr_header: Whether the wire packet carried a MegaTE SR header.
+        sr_path_consumed: True when the SR header arrived fully consumed
+            (offset == hop number) — i.e. the packet really traversed its
+            whole pinned path before delivery.
+    """
+
+    ip: IPv4Header
+    l4_bytes: bytes
+    had_sr_header: bool
+    sr_path_consumed: bool
+
+
+def decapsulate(wire: bytes) -> InnerPacket:
+    """Strip outer Ethernet/IPv4/UDP/VXLAN (+ SR) and return the inner packet.
+
+    Raises:
+        ValueError: when any layer is malformed or the packet is not VXLAN.
+    """
+    _, rest = EthernetHeader.decode(wire)
+    _, after_ip = IPv4Header.decode(rest)
+    udp, payload = UDPHeader.decode(after_ip)
+    if udp.dst_port != VXLAN_PORT:
+        raise ValueError("not a VXLAN packet")
+    vxlan, after_vxlan = VXLANHeader.decode(payload)
+    sr_consumed = False
+    if vxlan.has_sr_header:
+        sr, after_vxlan = SRHeader.decode(after_vxlan)
+        sr_consumed = sr.exhausted
+    _, inner_rest = EthernetHeader.decode(after_vxlan)
+    inner_ip, l4 = IPv4Header.decode(inner_rest)
+    return InnerPacket(
+        ip=inner_ip,
+        l4_bytes=l4,
+        had_sr_header=vxlan.has_sr_header,
+        sr_path_consumed=sr_consumed,
+    )
+
+
+@dataclass(frozen=True)
+class ReassembledDatagram:
+    """One complete inner datagram.
+
+    Attributes:
+        flow: The datagram's five tuple.
+        payload: The UDP payload bytes.
+    """
+
+    flow: FiveTuple
+    payload: bytes
+
+
+@dataclass
+class _PartialDatagram:
+    chunks: dict[int, bytes] = field(default_factory=dict)  # offset -> bytes
+    total_length: int | None = None  # set once the last fragment arrives
+
+    def is_complete(self) -> bool:
+        if self.total_length is None:
+            return False
+        covered = 0
+        for offset in sorted(self.chunks):
+            if offset > covered:
+                return False  # hole
+            covered = max(covered, offset + len(self.chunks[offset]))
+        return covered >= self.total_length
+
+    def assemble(self) -> bytes:
+        out = bytearray(self.total_length or 0)
+        for offset, chunk in self.chunks.items():
+            out[offset : offset + len(chunk)] = chunk
+        return bytes(out)
+
+
+class Reassembler:
+    """IPv4 reassembly keyed by ``(src, dst, protocol, ipid)``.
+
+    Feed inner packets (fragmented or not); complete UDP datagrams come
+    back as :class:`ReassembledDatagram`.  Out-of-order and duplicate
+    fragments are handled; overlapping fragments keep the latest copy.
+    """
+
+    def __init__(self) -> None:
+        self._partial: dict[tuple, _PartialDatagram] = {}
+
+    @property
+    def pending(self) -> int:
+        """Datagrams currently awaiting fragments."""
+        return len(self._partial)
+
+    def push(self, packet: InnerPacket) -> ReassembledDatagram | None:
+        """Add one inner packet; returns the datagram when complete."""
+        ip = packet.ip
+        if not ip.is_fragment:
+            return self._finish(ip, packet.l4_bytes)
+        key = (ip.src, ip.dst, ip.protocol, ip.identification)
+        partial = self._partial.setdefault(key, _PartialDatagram())
+        offset = ip.fragment_offset_bytes
+        partial.chunks[offset] = packet.l4_bytes
+        if not ip.more_fragments:
+            partial.total_length = offset + len(packet.l4_bytes)
+        if partial.is_complete():
+            del self._partial[key]
+            return self._finish(ip, partial.assemble())
+        return None
+
+    @staticmethod
+    def _finish(
+        ip: IPv4Header, l4_bytes: bytes
+    ) -> ReassembledDatagram | None:
+        if len(l4_bytes) < UDP_HEADER_LEN:
+            return None
+        udp, payload = UDPHeader.decode(l4_bytes)
+        flow = FiveTuple(
+            src_ip=ip.src,
+            dst_ip=ip.dst,
+            protocol=ip.protocol,
+            src_port=udp.src_port,
+            dst_port=udp.dst_port,
+        )
+        # The UDP length field bounds the payload (padding is dropped).
+        body = payload[: max(0, udp.length - UDP_HEADER_LEN)]
+        return ReassembledDatagram(flow=flow, payload=body)

@@ -1,0 +1,185 @@
+"""SR-aware WAN router (§5.2, "Router implementation").
+
+"The router site profiles the packet and analyzes the VXLAN header to
+identify if the packet uses MegaTE SR information.  If it is identified as
+a MegaTE SR header, the router obtains the hop information from the SR
+header and forwards the packet to the specified path."
+
+Packets without the SR flag fall back to conventional destination-based
+forwarding (shortest path by latency), which is also what happens to the
+traffic of tenants not managed by MegaTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from .packet import EthernetHeader, IPv4Header, UDPHeader
+from .sr_header import SiteIdCodec, SRHeader
+from .vxlan import VXLANHeader, VXLAN_PORT
+
+if TYPE_CHECKING:
+    from ..topology.graph import SiteNetwork
+
+__all__ = ["ForwardingDecision", "SRRouter"]
+
+
+@dataclass(frozen=True)
+class ForwardingDecision:
+    """A router's verdict on one packet.
+
+    Attributes:
+        action: ``"forward"``, ``"deliver"`` or ``"drop"``.
+        next_site: The next WAN site (forward only).
+        data: The (possibly rewritten) packet bytes.
+        reason: Human-readable note for drops.
+    """
+
+    action: str
+    data: bytes
+    next_site: str | None = None
+    reason: str = ""
+
+
+class SRRouter:
+    """One WAN router site.
+
+    Args:
+        site: The site this router serves.
+        codec: Shared site-name/id codec.
+        network: The site layer (for fallback shortest-path forwarding and
+            link liveness checks).
+        vtep_site_of: Optional resolver mapping an outer destination IP to
+            its egress site; required only for non-SR fallback traffic.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        codec: SiteIdCodec,
+        network: "SiteNetwork",
+        vtep_site_of=None,
+    ) -> None:
+        self.site = site
+        self.codec = codec
+        self.network = network
+        self.vtep_site_of = vtep_site_of
+        self._graph = network.to_networkx()
+        #: Operational counters: packets forwarded/delivered/dropped here.
+        self.counters: dict[str, int] = {
+            "forward": 0,
+            "deliver": 0,
+            "drop": 0,
+        }
+
+    def process(self, data: bytes) -> ForwardingDecision:
+        """Parse one wire packet and decide where it goes.
+
+        SR packets follow their hop list exactly; a hop over a dead link is
+        dropped (this is what the recomputation window in §6.3 costs).
+        """
+        decision = self._process(data)
+        self.counters[decision.action] += 1
+        return decision
+
+    def _process(self, data: bytes) -> ForwardingDecision:
+        try:
+            eth, rest = EthernetHeader.decode(data)
+            ip, l4 = IPv4Header.decode(rest)
+            udp, payload = UDPHeader.decode(l4)
+        except ValueError as exc:
+            return ForwardingDecision(
+                action="drop", data=data, reason=f"malformed: {exc}"
+            )
+        if udp.dst_port != VXLAN_PORT:
+            return ForwardingDecision(
+                action="drop", data=data, reason="not VXLAN"
+            )
+        try:
+            vxlan, after_vxlan = VXLANHeader.decode(payload)
+        except ValueError as exc:
+            return ForwardingDecision(
+                action="drop", data=data, reason=f"bad VXLAN: {exc}"
+            )
+        if vxlan.has_sr_header:
+            return self._process_sr(data, after_vxlan)
+        return self._process_fallback(data, ip)
+
+    def _process_sr(
+        self, original: bytes, after_vxlan: bytes
+    ) -> ForwardingDecision:
+        try:
+            sr, _ = SRHeader.decode(after_vxlan)
+        except ValueError as exc:
+            return ForwardingDecision(
+                action="drop", data=original, reason=f"bad SR: {exc}"
+            )
+        # Consume our own hop if we are the current one.
+        while not sr.exhausted and (
+            self.codec.name_of(sr.current_hop) == self.site
+        ):
+            sr = sr.advanced()
+        if sr.exhausted:
+            return ForwardingDecision(
+                action="deliver", data=self._rewrite_sr(original, sr)
+            )
+        next_site = self.codec.name_of(sr.current_hop)
+        if not self.network.has_link(self.site, next_site):
+            return ForwardingDecision(
+                action="drop",
+                data=original,
+                reason=f"no link {self.site} -> {next_site}",
+            )
+        return ForwardingDecision(
+            action="forward",
+            next_site=next_site,
+            data=self._rewrite_sr(original, sr),
+        )
+
+    def _process_fallback(
+        self, original: bytes, ip: IPv4Header
+    ) -> ForwardingDecision:
+        """Destination-based shortest-path forwarding for non-SR traffic."""
+        if self.vtep_site_of is None:
+            return ForwardingDecision(
+                action="drop",
+                data=original,
+                reason="no VTEP resolver for non-SR traffic",
+            )
+        egress = self.vtep_site_of(ip.dst)
+        if egress == self.site:
+            return ForwardingDecision(action="deliver", data=original)
+        try:
+            path = nx.shortest_path(
+                self._graph, self.site, egress, weight="latency_ms"
+            )
+        except nx.NetworkXNoPath:
+            return ForwardingDecision(
+                action="drop", data=original, reason="no route"
+            )
+        return ForwardingDecision(
+            action="forward", next_site=path[1], data=original
+        )
+
+    @staticmethod
+    def _rewrite_sr(original: bytes, sr: SRHeader) -> bytes:
+        """Re-encode the packet with the advanced SR offset in place."""
+        # Locate the SR header: it starts right after outer eth/ip/udp/vxlan.
+        from .packet import ETH_HEADER_LEN, IPV4_HEADER_LEN, UDP_HEADER_LEN
+        from .vxlan import VXLAN_HEADER_LEN
+
+        sr_start = (
+            ETH_HEADER_LEN
+            + IPV4_HEADER_LEN
+            + UDP_HEADER_LEN
+            + VXLAN_HEADER_LEN
+        )
+        old_sr, _ = SRHeader.decode(original[sr_start:])
+        return (
+            original[:sr_start]
+            + sr.encode()
+            + original[sr_start + old_sr.encoded_length :]
+        )

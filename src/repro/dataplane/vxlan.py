@@ -1,0 +1,64 @@
+"""VXLAN header with MegaTE's SR-presence flag (§5.2, Figure 7).
+
+Standard VXLAN (RFC 7348) is 8 bytes: flags (bit 3 = valid-VNI "I" flag),
+24 reserved bits, the 24-bit VNI, and a final reserved byte.  MegaTE's eBPF
+program "insert[s] a flag in the 'Reserved' field of the VXLAN header to
+indicate whether the packet is inserted with the MegaTE SR information" —
+modelled here as the low bit of the first reserved field.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["VXLANHeader", "VXLAN_HEADER_LEN", "VXLAN_PORT"]
+
+VXLAN_HEADER_LEN = 8
+#: IANA-assigned VXLAN UDP port.
+VXLAN_PORT = 4789
+
+_I_FLAG = 0x08
+#: MegaTE's SR-presence flag, carried in the 24-bit reserved field.
+_SR_FLAG = 0x000001
+
+
+@dataclass(frozen=True)
+class VXLANHeader:
+    """One VXLAN header.
+
+    Attributes:
+        vni: 24-bit VXLAN network identifier (the tenant segment).
+        has_sr_header: MegaTE's reserved-field flag announcing that a
+            MegaTE SR header follows this VXLAN header.
+    """
+
+    vni: int
+    has_sr_header: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vni < (1 << 24):
+            raise ValueError("VNI must fit in 24 bits")
+
+    def encode(self) -> bytes:
+        reserved24 = _SR_FLAG if self.has_sr_header else 0
+        word0 = (_I_FLAG << 24) | reserved24
+        word1 = self.vni << 8
+        return struct.pack("!II", word0, word1)
+
+    @classmethod
+    def decode(cls, data: bytes) -> tuple["VXLANHeader", bytes]:
+        if len(data) < VXLAN_HEADER_LEN:
+            raise ValueError("truncated VXLAN header")
+        word0, word1 = struct.unpack("!II", data[:VXLAN_HEADER_LEN])
+        flags = word0 >> 24
+        if not flags & _I_FLAG:
+            raise ValueError("VXLAN I flag not set")
+        reserved24 = word0 & 0xFFFFFF
+        return (
+            cls(
+                vni=word1 >> 8,
+                has_sr_header=bool(reserved24 & _SR_FLAG),
+            ),
+            data[VXLAN_HEADER_LEN:],
+        )

@@ -1,0 +1,37 @@
+"""Figure 9: TE algorithm run time vs endpoint scale, four topologies.
+
+Paper headline: MegaTE completes flow allocation on topologies 20× larger
+than NCFlow/TEAL at similar (or lower) run time, and is the only scheme
+still standing at hyper-scale where the others go out of memory.
+"""
+
+from __future__ import annotations
+
+from .sweep import SweepRecord, run_scale_sweep
+
+__all__ = ["run", "DEFAULT_SCALES"]
+
+#: Default endpoint scales per topology — decades like the paper's x-axis,
+#: shrunk to fit one CPU core (see DESIGN.md's scale note).
+DEFAULT_SCALES: dict[str, list[int]] = {
+    "b4": [120, 1_200, 12_000],
+    "deltacom": [113, 1_130, 11_300],
+    "cogentco": [197, 1_970, 19_700],
+    "twan": [100, 1_000, 10_000],
+}
+
+
+def run(
+    topologies: list[str] | None = None,
+    scales: dict[str, list[int]] | None = None,
+    seed: int = 0,
+) -> list[SweepRecord]:
+    """Reproduce Figure 9 (runtime series per topology and scheme)."""
+    topologies = topologies or list(DEFAULT_SCALES)
+    scales = scales or DEFAULT_SCALES
+    records: list[SweepRecord] = []
+    for name in topologies:
+        records.extend(
+            run_scale_sweep(name, scales[name], seed=seed)
+        )
+    return records

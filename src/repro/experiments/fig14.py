@@ -1,0 +1,57 @@
+"""Figure 14: controller resources vs endpoint count, top-down vs bottom-up.
+
+Paper numbers: one million endpoints need ≥167 CPU cores and 125 GB of
+memory under the top-down persistent-connection loop, versus 1 core / 1 GB
+(plus database shards) under MegaTE's bottom-up loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..controlplane import bottomup_resources, topdown_resources
+
+__all__ = ["Fig14Row", "run"]
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    """One sweep point.
+
+    Attributes:
+        endpoints: Endpoint fleet size.
+        topdown_cores: Cores for the persistent-connection loop.
+        topdown_memory_gb: Memory for the persistent-connection loop.
+        bottomup_cores: Controller cores under the bottom-up loop.
+        bottomup_memory_gb: Controller memory under the bottom-up loop.
+        database_shards: TE database shards the bottom-up loop needs.
+    """
+
+    endpoints: int
+    topdown_cores: float
+    topdown_memory_gb: float
+    bottomup_cores: float
+    bottomup_memory_gb: float
+    database_shards: int
+
+
+def run(endpoint_counts: list[int] | None = None) -> list[Fig14Row]:
+    """Reproduce Figure 14's sweep."""
+    counts = endpoint_counts or [
+        1_000, 10_000, 100_000, 500_000, 1_000_000,
+    ]
+    rows = []
+    for count in counts:
+        top = topdown_resources(count)
+        bottom = bottomup_resources(count)
+        rows.append(
+            Fig14Row(
+                endpoints=count,
+                topdown_cores=top.cpu_cores,
+                topdown_memory_gb=top.memory_gb,
+                bottomup_cores=bottom.cpu_cores,
+                bottomup_memory_gb=bottom.memory_gb,
+                database_shards=bottom.database_shards,
+            )
+        )
+    return rows

@@ -1,0 +1,158 @@
+"""Production-study scaffolding for §7 (Figures 15-17).
+
+The production comparison runs two control planes over the same TWAN-like
+workload: the **traditional approach** (aggregated MCF + hash splitting,
+QoS-blind) and **MegaTE**.  Applications are modelled as labelled groups of
+endpoint flows with a QoS class:
+
+===== ===================== =====
+app   service               QoS
+===== ===================== =====
+1     video streaming       1
+2     live streaming        1
+3     real-time message     1
+4     financial payment     1
+5     online gaming         1
+6     high-priority service 1
+7     background service    3
+8     online gaming         1
+9     bulk transfer         3
+===== ===================== =====
+
+Per-app metrics (latency, availability, cost-per-Gbps) are computed from
+the tunnel each of the app's flows rides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import QoSClass
+from ..core.types import TEResult
+from ..topology.contraction import TwoLayerTopology
+from .common import Scenario, build_scenario
+
+__all__ = [
+    "APP_PROFILES",
+    "ProductionScenario",
+    "build_production_scenario",
+    "app_metric",
+    "app_latency_ms",
+]
+
+#: app id -> (name, QoS class)
+APP_PROFILES: dict[int, tuple[str, QoSClass]] = {
+    1: ("video streaming", QoSClass.CLASS1),
+    2: ("live streaming", QoSClass.CLASS1),
+    3: ("real-time message", QoSClass.CLASS1),
+    4: ("financial payment", QoSClass.CLASS1),
+    5: ("online gaming", QoSClass.CLASS1),
+    6: ("high-priority service", QoSClass.CLASS1),
+    7: ("background service", QoSClass.CLASS3),
+    8: ("online gaming", QoSClass.CLASS1),
+    9: ("bulk transfer", QoSClass.CLASS3),
+}
+
+
+@dataclass
+class ProductionScenario:
+    """A TWAN scenario with application labels on every flow.
+
+    Attributes:
+        scenario: The underlying topology + demands.
+        app_labels: Per site pair, an int array assigning each flow an
+            app id from :data:`APP_PROFILES` (0 = unlabelled background).
+    """
+
+    scenario: Scenario
+    app_labels: list[np.ndarray]
+
+    @property
+    def topology(self) -> TwoLayerTopology:
+        return self.scenario.topology
+
+
+def build_production_scenario(
+    total_endpoints: int = 5_000,
+    num_site_pairs: int = 40,
+    target_load: float = 0.9,
+    tunnels_per_pair: int = 4,
+    seed: int = 0,
+) -> ProductionScenario:
+    """Build the §7 workload: TWAN topology, app-labelled flows.
+
+    QoS-1 flows are split among apps 1-6 and 8; QoS-3 flows among apps
+    7 and 9; QoS-2 flows stay unlabelled background traffic.  The default
+    load (0.9 of carriage capacity) matches a production WAN: congested
+    enough that the aggregated MCF must spread traffic over slower
+    tunnels, but nearly all demand is served.
+    """
+    scenario = build_scenario(
+        "twan",
+        total_endpoints=total_endpoints,
+        num_site_pairs=num_site_pairs,
+        tunnels_per_pair=tunnels_per_pair,
+        target_load=target_load,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 99)
+    qos1_apps = np.array([1, 2, 3, 4, 5, 6, 8])
+    qos3_apps = np.array([7, 9])
+    labels: list[np.ndarray] = []
+    for pair in scenario.demands:
+        app = np.zeros(pair.num_pairs, dtype=np.int32)
+        mask1 = pair.qos == QoSClass.CLASS1.value
+        mask3 = pair.qos == QoSClass.CLASS3.value
+        app[mask1] = rng.choice(qos1_apps, size=int(mask1.sum()))
+        app[mask3] = rng.choice(qos3_apps, size=int(mask3.sum()))
+        labels.append(app)
+    return ProductionScenario(scenario=scenario, app_labels=labels)
+
+
+def app_metric(
+    production: ProductionScenario,
+    result: TEResult,
+    app_id: int,
+    attribute: str,
+) -> float:
+    """Volume-weighted mean of a tunnel attribute over one app's flows.
+
+    Args:
+        production: The labelled scenario.
+        result: A TE result on it.
+        app_id: Which app to aggregate.
+        attribute: Tunnel attribute (``weight``, ``cost_per_gbps``,
+            ``availability``, ``num_hops``).
+
+    Rejected flows contribute volume with a zero metric for
+    ``availability`` (they are down) and are skipped for latency/cost
+    (they carry no packets).
+    """
+    catalog = production.topology.catalog
+    weighted = 0.0
+    volume_total = 0.0
+    for k, pair in enumerate(result.demands):
+        labels = production.app_labels[k]
+        assigned = result.assignment.per_pair[k]
+        tunnels = catalog.tunnels(k)
+        mask = labels == app_id
+        if not np.any(mask):
+            continue
+        for i in np.flatnonzero(mask):
+            t_index = int(assigned[i])
+            vol = float(pair.volumes[i])
+            if t_index >= 0 and t_index < len(tunnels):
+                weighted += vol * getattr(tunnels[t_index], attribute)
+                volume_total += vol
+            elif attribute == "availability":
+                volume_total += vol  # down flows drag availability
+    return weighted / volume_total if volume_total > 0 else float("nan")
+
+
+def app_latency_ms(
+    production: ProductionScenario, result: TEResult, app_id: int
+) -> float:
+    """Volume-weighted mean tunnel latency (ms) of one app's flows."""
+    return app_metric(production, result, app_id, "weight")

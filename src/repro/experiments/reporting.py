@@ -1,0 +1,143 @@
+"""Plain-text rendering of experiment results.
+
+One formatter per experiment output type, shared by the CLI
+(:mod:`repro.cli`) and the benchmark harnesses, so every surface prints
+the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "render_table",
+    "format_value",
+    "render_sparkline",
+    "render_cdf",
+]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-readable cell: floats rounded, NaN as '-', rest via str()."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value and abs(value) < 10 ** -precision:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 3,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column titles.
+        rows: Row tuples (any mix of str/int/float; floats formatted).
+        precision: Decimal places for float cells.
+
+    Returns:
+        The table as one string (no trailing newline).
+    """
+    rendered_rows = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_sparkline(values, width: int = 60) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Args:
+        values: The series (NaNs render as spaces).
+        width: Maximum characters; longer series are downsampled by
+            striding.
+
+    Returns:
+        A one-line sparkline string.
+    """
+    import math as _math
+
+    ticks = "▁▂▃▄▅▆▇█"
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if len(series) > width:
+        stride = len(series) / width
+        series = [
+            series[int(i * stride)] for i in range(width)
+        ]
+    finite = [v for v in series if not _math.isnan(v)]
+    if not finite:
+        return " " * len(series)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in series:
+        if _math.isnan(v):
+            out.append(" ")
+        elif span <= 0:
+            out.append(ticks[0])
+        else:
+            idx = int((v - lo) / span * (len(ticks) - 1))
+            out.append(ticks[idx])
+    return "".join(out)
+
+
+def render_cdf(values, width: int = 50, height: int = 10) -> str:
+    """Render an empirical CDF as a small ASCII plot.
+
+    Args:
+        values: The sample.
+        width: Plot columns.
+        height: Plot rows.
+
+    Returns:
+        A multi-line string, y axis = CDF 0..1, x axis = value range.
+    """
+    import math as _math
+
+    sample = sorted(
+        float(v) for v in values if not _math.isnan(float(v))
+    )
+    if not sample:
+        return "(empty)"
+    lo, hi = sample[0], sample[-1]
+    span = hi - lo or 1.0
+    n = len(sample)
+    # CDF at each column's x value.
+    import bisect
+
+    columns = []
+    for c in range(width):
+        x = lo + span * c / max(width - 1, 1)
+        columns.append(bisect.bisect_right(sample, x) / n)
+    rows = []
+    for r in range(height, 0, -1):
+        threshold = r / height
+        line = "".join(
+            "█" if cdf >= threshold else " " for cdf in columns
+        )
+        rows.append(f"{threshold:4.1f} |{line}")
+    rows.append("     +" + "-" * width)
+    rows.append(f"      {lo:<12.4g}{'':^{max(width - 24, 0)}}{hi:>12.4g}")
+    return "\n".join(rows)

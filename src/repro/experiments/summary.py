@@ -1,0 +1,262 @@
+"""One-command reproduction scorecard.
+
+``python -m repro.cli verify`` runs a quick configuration of every paper
+claim this repository reproduces and prints a pass/fail scorecard — the
+five-minute sanity check before trusting the full benchmark suite.
+
+Each check states the paper's claim, the measured value, and whether the
+qualitative assertion holds at the quick scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import (
+    database_study,
+    fastssp_study,
+    fig02,
+    fig08,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table02,
+)
+from .sweep import run_scale_sweep
+
+__all__ = ["CheckResult", "run_all_checks"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One claim's verification outcome.
+
+    Attributes:
+        name: Short claim identifier (paper figure/section).
+        claim: The paper's statement being checked.
+        measured: What this run observed.
+        passed: Whether the qualitative claim held.
+    """
+
+    name: str
+    claim: str
+    measured: str
+    passed: bool
+
+
+def _check_fig02() -> CheckResult:
+    result = fig02.run(num_epochs=96)
+    ok = result.pair4_modes == [20.0, 42.0]
+    return CheckResult(
+        name="Fig 2",
+        claim="hash TE flips pair #4 between ~20 and ~42 ms",
+        measured=f"modes {result.pair4_modes} ms; MegaTE pins "
+        f"{result.megate_latencies[0]:.0f} ms",
+        passed=ok,
+    )
+
+
+def _check_fig08() -> CheckResult:
+    result = fig08.run(num_sites=150)
+    ok = result.ks_statistic < 0.15
+    return CheckResult(
+        name="Fig 8",
+        claim="endpoint counts per site are Weibull",
+        measured=f"fit shape {result.fitted_model.shape:.2f}, "
+        f"KS {result.ks_statistic:.3f}",
+        passed=ok,
+    )
+
+
+def _check_table2() -> CheckResult:
+    rows = {r.name: r for r in table02.run(scale=0.001)}
+    ok = (
+        rows["B4"].sites == 12
+        and rows["Deltacom"].sites == 113
+        and rows["Cogentco"].sites == 197
+    )
+    return CheckResult(
+        name="Table 2",
+        claim="topologies at published site counts",
+        measured="B4 12 / Deltacom 113 / Cogentco 197 / "
+        f"TWAN {rows['TWAN'].sites}",
+        passed=ok,
+    )
+
+
+def _check_fig09_fig10() -> CheckResult:
+    records = run_scale_sweep(
+        "deltacom", [1130, 2260], num_site_pairs=20,
+        target_load=1.15, seed=0,
+    )
+    by = {
+        (r.scheme, r.num_endpoints): r
+        for r in records
+        if r.status == "ok"
+    }
+    scales = sorted({n for _, n in by})
+    big = scales[-1]
+    megate, lp = by[("MegaTE", big)], by[("LP-all", big)]
+    ok = (
+        megate.satisfied >= lp.satisfied - 0.03
+        and megate.runtime_s <= lp.runtime_s * 1.5
+    )
+    return CheckResult(
+        name="Figs 9-10",
+        claim="MegaTE ~ LP-all quality at lower runtime",
+        measured=f"satisfied {megate.satisfied:.3f} vs LP "
+        f"{lp.satisfied:.3f}; runtime {megate.runtime_s:.2f}s vs "
+        f"{lp.runtime_s:.2f}s",
+        passed=ok,
+    )
+
+
+def _check_fig11() -> CheckResult:
+    result = fig11.run(num_endpoints=1130, num_site_pairs=20, seed=0)
+    reductions = [
+        v for v in result.reduction_vs.values() if v == v  # drop NaN
+    ]
+    ok = bool(reductions) and all(v >= -1e-9 for v in reductions)
+    return CheckResult(
+        name="Fig 11",
+        claim="MegaTE lowest QoS-1 latency (paper: -25%/-33%)",
+        measured=", ".join(
+            f"vs {k}: {v:+.0%}" for k, v in result.reduction_vs.items()
+        ),
+        passed=ok,
+    )
+
+
+def _check_fig12() -> CheckResult:
+    records = fig12.run(
+        endpoint_scales=[1130],
+        failure_counts=[2],
+        schemes=["NCFlow", "MegaTE"],
+        scenarios_per_point=1,
+        seed=0,
+    )
+    by = {r.scheme: r for r in records}
+    gap = (
+        by["MegaTE"].effective_satisfied
+        - by["NCFlow"].effective_satisfied
+    )
+    ok = gap >= -0.01
+    return CheckResult(
+        name="Fig 12",
+        claim="faster recompute preserves demand through failures",
+        measured=f"MegaTE-NCFlow gap {gap:+.3f} "
+        f"(windows {by['MegaTE'].recompute_seconds:.1f}s vs "
+        f"{by['NCFlow'].recompute_seconds:.1f}s)",
+        passed=ok,
+    )
+
+
+def _check_fig13_fig14() -> CheckResult:
+    conns = fig13.run()[-1]
+    million = [r for r in fig14.run() if r.endpoints == 1_000_000][0]
+    ok = (
+        conns.cpu_percent == 90.0
+        and conns.memory_mb == 750.0
+        and million.topdown_cores > 160
+        and million.bottomup_cores == 1.0
+    )
+    return CheckResult(
+        name="Figs 13-14",
+        claim="6k conns = 90%/750MB; 1M endpoints = 167 cores vs 1",
+        measured=f"{conns.cpu_percent:.0f}%/{conns.memory_mb:.0f}MB; "
+        f"{million.topdown_cores:.0f} vs {million.bottomup_cores:.0f} "
+        "cores",
+        passed=ok,
+    )
+
+
+def _check_production() -> CheckResult:
+    from .production import build_production_scenario
+
+    production = build_production_scenario(
+        total_endpoints=3_000, num_site_pairs=30, seed=0
+    )
+    latency_rows = fig15.run(production=production)
+    cost_rows = {r.app_id: r for r in fig17.run(production=production)}
+    months = fig16.run(
+        num_months=4, rollout_month=2, production=production
+    )
+    after = [r for r in months if r.scheme == "MegaTE"]
+    ok = (
+        all(r.reduction > 0 for r in latency_rows)
+        and cost_rows[9].reduction > 0.1
+        and all(r.app6_availability >= 0.9999 for r in after)
+    )
+    best = max(r.reduction for r in latency_rows)
+    return CheckResult(
+        name="Figs 15-17",
+        claim="latency cut for all apps, bulk cost down, App6 SLO met",
+        measured=f"best latency cut {best:.0%}; bulk cost "
+        f"{cost_rows[9].reduction:+.0%}; App6 "
+        f"{after[-1].app6_availability:.5f}",
+        passed=ok,
+    )
+
+
+def _check_database() -> CheckResult:
+    result = database_study.run(
+        num_endpoints=1_000_000, spread_window_s=10.0, num_shards=2
+    )
+    ok = result.rejected == 0 and result.peak_shard_qps <= 80_000
+    return CheckResult(
+        name="§6.4",
+        claim="2 shards absorb 1M endpoints over a 10s window",
+        measured=f"peak {result.peak_shard_qps:,} qps/shard, "
+        f"{result.rejected} rejects",
+        passed=ok,
+    )
+
+
+def _check_fastssp() -> CheckResult:
+    rows = fastssp_study.run(num_instances=6, num_items=200, seed=1)
+    holds = all(r.bound_holds for r in rows)
+    fill = sum(r.fastssp_fill for r in rows) / len(rows)
+    return CheckResult(
+        name="App A.2",
+        claim="FastSSP within β ≤ min(residual)/F of optimal",
+        measured=f"bound holds on {len(rows)}/{len(rows)}; mean fill "
+        f"{fill:.4f}",
+        passed=holds,
+    )
+
+
+_CHECKS: list[Callable[[], CheckResult]] = [
+    _check_fig02,
+    _check_fig08,
+    _check_table2,
+    _check_fig09_fig10,
+    _check_fig11,
+    _check_fig12,
+    _check_fig13_fig14,
+    _check_production,
+    _check_database,
+    _check_fastssp,
+]
+
+
+def run_all_checks() -> list[CheckResult]:
+    """Run every quick claim check; failures never abort the scorecard."""
+    results: list[CheckResult] = []
+    for check in _CHECKS:
+        try:
+            results.append(check())
+        except Exception as exc:  # pragma: no cover - defensive
+            results.append(
+                CheckResult(
+                    name=check.__name__,
+                    claim="(check crashed)",
+                    measured=repr(exc),
+                    passed=False,
+                )
+            )
+    return results

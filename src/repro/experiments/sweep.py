@@ -1,0 +1,101 @@
+"""The §6.2 scale sweep behind Figures 9 and 10.
+
+For each topology and endpoint scale, run every TE scheme on the same
+demand matrix and record runtime and satisfied demand.  Schemes that
+exceed their model-size caps at a scale are recorded as ``OOM`` — exactly
+how the paper reports LP-all/NCFlow/TEAL at hyper-scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import Scenario, build_scenario, default_schemes
+
+__all__ = ["SweepRecord", "run_scale_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (topology, scheme, scale) measurement.
+
+    Attributes:
+        topology: Topology name.
+        scheme: TE scheme name.
+        num_endpoints: Endpoint-layer size.
+        num_flows: Endpoint-pair demands solved.
+        runtime_s: Solver wall-clock (NaN when the scheme failed).
+        satisfied: Satisfied-demand fraction (NaN when failed).
+        status: ``"ok"`` or ``"OOM"``.
+    """
+
+    topology: str
+    scheme: str
+    num_endpoints: int
+    num_flows: int
+    runtime_s: float
+    satisfied: float
+    status: str
+
+
+def run_scale_sweep(
+    topology_name: str,
+    endpoint_scales: list[int],
+    schemes: dict | None = None,
+    num_site_pairs: int = 40,
+    target_load: float = 1.0,
+    seed: int = 0,
+) -> list[SweepRecord]:
+    """Run the Figure 9/10 sweep on one topology.
+
+    Args:
+        topology_name: Table 2 topology.
+        endpoint_scales: Endpoint counts to sweep (the x-axis).
+        schemes: Scheme-name -> factory; defaults to the §6 four.
+        num_site_pairs: Demand-carrying site pairs.
+        target_load: Offered load (≈1.0 reproduces the 88-97% satisfied
+            regime of Figure 10).
+        seed: Master seed.
+    """
+    schemes = schemes or default_schemes()
+    records: list[SweepRecord] = []
+    for scale_idx, num_endpoints in enumerate(endpoint_scales):
+        scenario = build_scenario(
+            topology_name,
+            total_endpoints=num_endpoints,
+            num_site_pairs=num_site_pairs,
+            target_load=target_load,
+            seed=seed + scale_idx,
+        )
+        for scheme_name, factory in schemes.items():
+            records.append(
+                _run_one(scenario, scheme_name, factory())
+            )
+    return records
+
+
+def _run_one(
+    scenario: Scenario, scheme_name: str, solver
+) -> SweepRecord:
+    try:
+        result = solver.solve(scenario.topology, scenario.demands)
+    except (ValueError, MemoryError):
+        return SweepRecord(
+            topology=scenario.name,
+            scheme=scheme_name,
+            num_endpoints=scenario.num_endpoints,
+            num_flows=scenario.num_flows,
+            runtime_s=float("nan"),
+            satisfied=float("nan"),
+            status="OOM",
+        )
+    runtime = result.stats.get("parallel_runtime_s", result.runtime_s)
+    return SweepRecord(
+        topology=scenario.name,
+        scheme=scheme_name,
+        num_endpoints=scenario.num_endpoints,
+        num_flows=scenario.num_flows,
+        runtime_s=runtime,
+        satisfied=result.satisfied_fraction,
+        status="ok",
+    )

@@ -1,0 +1,30 @@
+"""Flow-level simulation: realize TE decisions, measure what the paper measures."""
+
+from .failures import FailureStudyOutcome, run_failure_study, surviving_volume
+from .flowsim import LinkState, SimulationOutcome, simulate
+from .hashte import InstancePairSeries, measure_hash_latency
+from .interval_runner import IntervalRecord, IntervalSeries, run_intervals
+from .latency import FlowLatencies, compute_flow_latencies
+from .metrics import cost_per_gbps, traffic_cost, weighted_availability
+from .replay import ReplayReport, replay_assignment
+
+__all__ = [
+    "simulate",
+    "SimulationOutcome",
+    "LinkState",
+    "compute_flow_latencies",
+    "FlowLatencies",
+    "run_failure_study",
+    "FailureStudyOutcome",
+    "surviving_volume",
+    "measure_hash_latency",
+    "InstancePairSeries",
+    "weighted_availability",
+    "traffic_cost",
+    "cost_per_gbps",
+    "run_intervals",
+    "IntervalRecord",
+    "IntervalSeries",
+    "replay_assignment",
+    "ReplayReport",
+]

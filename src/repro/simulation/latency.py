@@ -1,0 +1,154 @@
+"""Per-flow latency computation from TE assignments.
+
+The paper measures packet latency two ways (§6.1, *Metrics*): for TWAN the
+sum of measured per-hop latencies along the path; for the public topologies
+the number of hops.  Both are supported, plus an optional M/M/1-style
+congestion factor so saturated links inflate latency — used by the
+production-style studies where load matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Literal
+
+import numpy as np
+
+from ..core.qos import QoSClass
+
+if TYPE_CHECKING:
+    from ..core.types import TEResult
+    from ..topology.contraction import TwoLayerTopology
+
+__all__ = ["FlowLatencies", "compute_flow_latencies"]
+
+LatencyMetric = Literal["ms", "hops"]
+
+
+@dataclass
+class FlowLatencies:
+    """Latency of every assigned flow, with QoS labels for slicing.
+
+    Attributes:
+        latencies: Latency per assigned flow (ms or hops per ``metric``).
+        volumes: Demand volume of each assigned flow.
+        qos: QoS class value of each assigned flow.
+        metric: Which latency metric the values carry.
+    """
+
+    latencies: np.ndarray
+    volumes: np.ndarray
+    qos: np.ndarray
+    metric: LatencyMetric
+
+    def for_qos(self, qos: QoSClass) -> np.ndarray:
+        """Latencies of one QoS class's flows."""
+        return self.latencies[self.qos == qos.value]
+
+    def percentile(
+        self, q: float, qos: QoSClass | None = None
+    ) -> float:
+        """Latency percentile, optionally within one QoS class."""
+        values = (
+            self.latencies if qos is None else self.for_qos(qos)
+        )
+        if values.size == 0:
+            return float("nan")
+        return float(np.percentile(values, q))
+
+    def volume_weighted_mean(self, qos: QoSClass | None = None) -> float:
+        """Demand-weighted mean latency."""
+        if qos is None:
+            lat, vol = self.latencies, self.volumes
+        else:
+            mask = self.qos == qos.value
+            lat, vol = self.latencies[mask], self.volumes[mask]
+        total = vol.sum()
+        return float((lat * vol).sum() / total) if total > 0 else float("nan")
+
+
+def compute_flow_latencies(
+    topology: "TwoLayerTopology",
+    result: "TEResult",
+    metric: LatencyMetric = "ms",
+    congestion_aware: bool = False,
+) -> FlowLatencies:
+    """Latency experienced by each assigned flow of a TE result.
+
+    Args:
+        topology: The topology the result was computed on.
+        result: A TE result with an integral assignment.
+        metric: ``"ms"`` sums link latencies (TWAN style); ``"hops"``
+            counts hops (public-topology style).
+        congestion_aware: Inflate each link's latency by ``1 / (1 - ρ)``
+            (ρ = utilization, capped at 0.95) before summing — a standard
+            M/M/1 queueing approximation.
+
+    Returns:
+        A :class:`FlowLatencies` over assigned flows only (rejected flows
+        carry no packets).
+    """
+    catalog = topology.catalog
+    network = topology.network
+
+    link_factor: dict[tuple[str, str], float] = {}
+    if congestion_aware:
+        loads: dict[tuple[str, str], float] = {
+            link.key: 0.0 for link in network.links
+        }
+        for k, pair in enumerate(result.demands):
+            assigned = result.assignment.per_pair[k]
+            tunnels = catalog.tunnels(k)
+            for t_index in np.unique(assigned):
+                if t_index < 0 or t_index >= len(tunnels):
+                    continue
+                volume = float(pair.volumes[assigned == t_index].sum())
+                for key in tunnels[int(t_index)].links:
+                    loads[key] = loads.get(key, 0.0) + volume
+        for link in network.links:
+            rho = (
+                min(0.95, loads[link.key] / link.capacity)
+                if link.capacity > 0
+                else 0.95
+            )
+            link_factor[link.key] = 1.0 / (1.0 - rho)
+
+    lat_parts: list[np.ndarray] = []
+    vol_parts: list[np.ndarray] = []
+    qos_parts: list[np.ndarray] = []
+    for k, pair in enumerate(result.demands):
+        assigned = result.assignment.per_pair[k]
+        tunnels = catalog.tunnels(k)
+        if assigned.size == 0 or not tunnels:
+            continue
+        # Latency per tunnel of this site pair.
+        tunnel_latency = np.empty(len(tunnels), dtype=np.float64)
+        for t_index, tunnel in enumerate(tunnels):
+            if metric == "hops":
+                tunnel_latency[t_index] = tunnel.num_hops
+            elif congestion_aware:
+                tunnel_latency[t_index] = sum(
+                    network.link(u, v).latency_ms * link_factor[(u, v)]
+                    for u, v in tunnel.links
+                )
+            else:
+                tunnel_latency[t_index] = tunnel.weight
+        mask = assigned >= 0
+        if not np.any(mask):
+            continue
+        lat_parts.append(tunnel_latency[assigned[mask]])
+        vol_parts.append(pair.volumes[mask])
+        qos_parts.append(pair.qos[mask])
+    if lat_parts:
+        return FlowLatencies(
+            latencies=np.concatenate(lat_parts),
+            volumes=np.concatenate(vol_parts),
+            qos=np.concatenate(qos_parts),
+            metric=metric,
+        )
+    return FlowLatencies(
+        latencies=np.empty(0),
+        volumes=np.empty(0),
+        qos=np.empty(0, dtype=np.int8),
+        metric=metric,
+    )

@@ -1,0 +1,94 @@
+"""Aggregate metrics over TE results: availability and cost (§7 studies).
+
+Figures 16 and 17 compare the production "traditional approach" with MegaTE
+on service availability and traffic cost.  Both reduce to properties of the
+tunnel each flow rides:
+
+* **availability** — the product of link availabilities along the tunnel;
+  an app's availability is the demand-weighted mean over its flows (a flow
+  with no tunnel contributes zero — it is down).
+* **cost** — the sum of per-Gbps link costs along the tunnel times the
+  flow's volume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.qos import QoSClass
+
+if TYPE_CHECKING:
+    from ..core.types import TEResult
+    from ..topology.contraction import TwoLayerTopology
+
+__all__ = ["weighted_availability", "traffic_cost", "cost_per_gbps"]
+
+
+def _per_tunnel_metric(
+    topology: "TwoLayerTopology",
+    result: "TEResult",
+    qos: QoSClass | None,
+    attribute: str,
+) -> tuple[float, float]:
+    """(Σ volume × tunnel.<attribute>, Σ volume) over assigned flows."""
+    catalog = topology.catalog
+    weighted = 0.0
+    volume_total = 0.0
+    for k, pair in enumerate(result.demands):
+        assigned = result.assignment.per_pair[k]
+        tunnels = catalog.tunnels(k)
+        mask = (
+            np.ones(pair.num_pairs, dtype=bool)
+            if qos is None
+            else pair.qos == qos.value
+        )
+        for t_index in np.unique(assigned[mask]):
+            sel = mask & (assigned == t_index)
+            vol = float(pair.volumes[sel].sum())
+            volume_total += vol
+            if 0 <= t_index < len(tunnels):
+                weighted += vol * getattr(tunnels[int(t_index)], attribute)
+            # Rejected flows contribute volume but zero metric.
+    return weighted, volume_total
+
+
+def weighted_availability(
+    topology: "TwoLayerTopology",
+    result: "TEResult",
+    qos: QoSClass | None = None,
+) -> float:
+    """Demand-weighted availability over (a QoS class of) a TE result.
+
+    Rejected flows count as unavailable, so rejecting traffic hurts the
+    score — matching how an availability SLO is actually computed.
+    """
+    weighted, total = _per_tunnel_metric(
+        topology, result, qos, "availability"
+    )
+    return weighted / total if total > 0 else float("nan")
+
+
+def traffic_cost(
+    topology: "TwoLayerTopology",
+    result: "TEResult",
+    qos: QoSClass | None = None,
+) -> float:
+    """Total monetary cost of the carried traffic (volume × path cost)."""
+    weighted, _ = _per_tunnel_metric(
+        topology, result, qos, "cost_per_gbps"
+    )
+    return weighted
+
+
+def cost_per_gbps(
+    topology: "TwoLayerTopology",
+    result: "TEResult",
+    qos: QoSClass | None = None,
+) -> float:
+    """Mean cost per carried Gbps — Figure 17's per-unit cost metric."""
+    weighted, total = _per_tunnel_metric(
+        topology, result, qos, "cost_per_gbps"
+    )
+    return weighted / total if total > 0 else float("nan")

@@ -1,0 +1,48 @@
+"""Topology substrate: site graphs, tunnels, endpoints, failures.
+
+Public surface of the first (site) and second (endpoint) layers of MegaTE's
+contracted topology, plus the reference WANs of Table 2.
+"""
+
+from .contraction import TwoLayerTopology, contract
+from .endpoints import EndpointLayout, WeibullEndpointModel, attach_endpoints
+from .failures import FailureScenario, sample_failure_scenarios
+from .graph import Link, SiteNetwork
+from .serialization import (
+    dump_topology,
+    load_topology,
+    network_from_dict,
+    network_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+from .tunnels import Tunnel, TunnelCatalog, build_tunnels
+from .twan import twan
+from .zoo import TOPOLOGY_NAMES, b4, cogentco, deltacom, topology_by_name
+
+__all__ = [
+    "Link",
+    "SiteNetwork",
+    "Tunnel",
+    "TunnelCatalog",
+    "build_tunnels",
+    "EndpointLayout",
+    "WeibullEndpointModel",
+    "attach_endpoints",
+    "FailureScenario",
+    "sample_failure_scenarios",
+    "TwoLayerTopology",
+    "contract",
+    "b4",
+    "deltacom",
+    "cogentco",
+    "twan",
+    "topology_by_name",
+    "TOPOLOGY_NAMES",
+    "network_to_dict",
+    "network_from_dict",
+    "topology_to_dict",
+    "topology_from_dict",
+    "dump_topology",
+    "load_topology",
+]

@@ -1,0 +1,94 @@
+"""Two-layer topology contraction (paper §4.2, Figure 5).
+
+MegaTE's key structural observation: the endpoint-granular graph splits into
+(1) a meshed *site layer* and (2) a *star layer* where each endpoint hangs
+off exactly one site.  The contraction bundles the site network, the tunnel
+catalog over site pairs, and the endpoint layout into one object that the
+two-stage optimizer consumes — the full million-node graph never needs to be
+materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .endpoints import EndpointLayout, WeibullEndpointModel, attach_endpoints
+from .graph import SiteNetwork
+from .tunnels import TunnelCatalog, build_tunnels
+
+__all__ = ["TwoLayerTopology", "contract"]
+
+
+@dataclass(frozen=True)
+class TwoLayerTopology:
+    """The contracted view: site layer + tunnels + endpoint layer.
+
+    Attributes:
+        network: The site-level WAN graph (first layer).
+        catalog: Pre-established tunnels per site pair.
+        layout: Endpoint-to-site attachment (second layer).
+    """
+
+    network: SiteNetwork
+    catalog: TunnelCatalog
+    layout: EndpointLayout
+
+    def __post_init__(self) -> None:
+        for site in self.layout.sites:
+            if not self.network.has_site(site):
+                raise ValueError(
+                    f"layout references unknown site {site!r}"
+                )
+
+    @property
+    def num_sites(self) -> int:
+        return self.network.num_sites
+
+    @property
+    def num_endpoints(self) -> int:
+        return self.layout.num_endpoints
+
+    def with_failures(self, failed_links) -> "TwoLayerTopology":
+        """The topology after removing directed links (failure scenarios).
+
+        Tunnel sets are filtered to surviving tunnels; site-pair indices are
+        preserved so demand matrices remain aligned.
+        """
+        survivor = self.network.without_links(failed_links)
+        return TwoLayerTopology(
+            network=survivor,
+            catalog=self.catalog.restricted_to_network(survivor),
+            layout=self.layout,
+        )
+
+
+def contract(
+    network: SiteNetwork,
+    site_pairs=None,
+    tunnels_per_pair: int = 4,
+    endpoint_model: WeibullEndpointModel | None = None,
+    total_endpoints: int | None = None,
+    seed: int = 0,
+    endpoint_sites=None,
+    diverse_tunnels: bool = True,
+) -> TwoLayerTopology:
+    """Build the contracted two-layer topology in one call.
+
+    Convenience wrapper: generates (diverse) tunnels for the requested
+    site pairs and attaches Weibull-distributed endpoints, optionally only
+    to ``endpoint_sites`` (transit-only sites host no tenants).
+    """
+    catalog = build_tunnels(
+        network,
+        site_pairs=site_pairs,
+        tunnels_per_pair=tunnels_per_pair,
+        diverse=diverse_tunnels,
+    )
+    layout = attach_endpoints(
+        network,
+        model=endpoint_model,
+        total_endpoints=total_endpoints,
+        seed=seed,
+        sites=endpoint_sites,
+    )
+    return TwoLayerTopology(network=network, catalog=catalog, layout=layout)

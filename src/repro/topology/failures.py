@@ -1,0 +1,107 @@
+"""Link-failure scenario generation (paper §6.3).
+
+The failure study knocks out a number of fibers (e.g. 2 or 5) and measures
+how much demand each TE scheme still satisfies, accounting for the traffic
+lost while the scheme recomputes.  A *fiber* failure removes both directed
+links of a duplex pair.  Scenarios never disconnect the network, mirroring
+production failure drills where redundant topologies stay connected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .graph import SiteNetwork
+
+__all__ = ["FailureScenario", "sample_failure_scenarios"]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A set of failed duplex fibers.
+
+    Attributes:
+        fibers: Failed fibers as ``(a, b)`` with ``a < b``; both directed
+            links of each fiber are down.
+    """
+
+    fibers: tuple[tuple[str, str], ...]
+
+    @property
+    def failed_links(self) -> tuple[tuple[str, str], ...]:
+        """All failed *directed* links (two per fiber)."""
+        links: list[tuple[str, str]] = []
+        for a, b in self.fibers:
+            links.append((a, b))
+            links.append((b, a))
+        return tuple(links)
+
+    def apply(self, network: SiteNetwork) -> SiteNetwork:
+        """The surviving network after this scenario."""
+        return network.without_links(self.failed_links)
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.fibers)
+
+
+def _fibers(network: SiteNetwork) -> list[tuple[str, str]]:
+    seen: set[tuple[str, str]] = set()
+    for link in network.links:
+        a, b = sorted((link.src, link.dst))
+        seen.add((a, b))
+    return sorted(seen)
+
+
+def sample_failure_scenarios(
+    network: SiteNetwork,
+    num_failures: int,
+    num_scenarios: int = 5,
+    seed: int = 0,
+    require_connected: bool = True,
+) -> list[FailureScenario]:
+    """Sample failure scenarios of ``num_failures`` fibers each.
+
+    Args:
+        network: The healthy site layer.
+        num_failures: Fibers to fail per scenario.
+        num_scenarios: How many distinct scenarios to draw.
+        seed: RNG seed.
+        require_connected: Reject scenarios that disconnect the network.
+
+    Raises:
+        ValueError: if the network has too few fibers, or connected
+            scenarios cannot be found within a sampling budget.
+    """
+    fibers = _fibers(network)
+    if num_failures > len(fibers):
+        raise ValueError(
+            f"cannot fail {num_failures} of {len(fibers)} fibers"
+        )
+    rng = np.random.default_rng(seed)
+    base = network.to_networkx().to_undirected()
+    scenarios: list[FailureScenario] = []
+    seen: set[tuple[tuple[str, str], ...]] = set()
+    attempts = 0
+    budget = max(200, num_scenarios * 50)
+    while len(scenarios) < num_scenarios:
+        attempts += 1
+        if attempts > budget:
+            raise ValueError(
+                "could not sample enough connected failure scenarios"
+            )
+        picked_idx = rng.choice(len(fibers), size=num_failures, replace=False)
+        picked = tuple(sorted(fibers[i] for i in picked_idx))
+        if picked in seen:
+            continue
+        if require_connected:
+            trial = base.copy()
+            trial.remove_edges_from(picked)
+            if not nx.is_connected(trial):
+                continue
+        seen.add(picked)
+        scenarios.append(FailureScenario(fibers=picked))
+    return scenarios

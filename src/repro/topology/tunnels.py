@@ -1,0 +1,255 @@
+"""TE tunnel (pre-established path) generation.
+
+For each site pair ``k`` the paper pre-establishes a tunnel set ``T_k``
+(Table 1); each tunnel ``t`` has a weight ``w_t`` "determined by the network
+latency where the higher value means larger network latency".  We generate
+tunnels as the k-shortest simple paths by latency and set ``w_t`` to the
+path's one-way latency in milliseconds, so tunnels within a set are already
+ordered by ascending ``w_t`` as Appendix A.2 assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from .graph import SiteNetwork
+
+__all__ = ["Tunnel", "TunnelCatalog", "build_tunnels"]
+
+
+@dataclass(frozen=True)
+class Tunnel:
+    """A pre-established path between one site pair.
+
+    Attributes:
+        src: Ingress site.
+        dst: Egress site.
+        path: Site sequence from ``src`` to ``dst`` inclusive.
+        weight: Tunnel weight ``w_t`` (one-way latency in ms).
+        cost_per_gbps: Monetary cost of the path per Gbps carried.
+        availability: End-to-end availability (product over links).
+    """
+
+    src: str
+    dst: str
+    path: tuple[str, ...]
+    weight: float
+    cost_per_gbps: float = 0.0
+    availability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ValueError("a tunnel needs at least two sites")
+        if self.path[0] != self.src or self.path[-1] != self.dst:
+            raise ValueError("tunnel path must run src -> dst")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError("tunnel path must be a simple path")
+
+    @property
+    def links(self) -> tuple[tuple[str, str], ...]:
+        """Directed links this tunnel traverses — the ``L(t, e) = 1`` set."""
+        return tuple(zip(self.path, self.path[1:]))
+
+    @property
+    def num_hops(self) -> int:
+        """Hop count, the simplified latency metric for non-TWAN topologies."""
+        return len(self.path) - 1
+
+    def uses_link(self, src: str, dst: str) -> bool:
+        """Whether ``L(t, (src, dst)) == 1``."""
+        return (src, dst) in self.links
+
+
+class TunnelCatalog:
+    """Tunnel sets ``{T_k}`` for the site pairs of interest.
+
+    Site pairs are ordered; ``pairs[k]`` is the k-th site pair and
+    ``tunnels(k)`` (or ``tunnels_for(src, dst)``) its tunnel list, sorted by
+    ascending weight.
+    """
+
+    def __init__(self, network: SiteNetwork) -> None:
+        self.network = network
+        self._pairs: list[tuple[str, str]] = []
+        self._index: dict[tuple[str, str], int] = {}
+        self._tunnels: list[list[Tunnel]] = []
+
+    def add_pair(
+        self,
+        src: str,
+        dst: str,
+        tunnels: Sequence[Tunnel],
+        allow_empty: bool = False,
+    ) -> int:
+        """Register a site pair and its tunnel set; returns its index ``k``.
+
+        Args:
+            src: Ingress site.
+            dst: Egress site.
+            tunnels: The pair's tunnel set (sorted by weight internally).
+            allow_empty: Permit an empty tunnel set — used when projecting
+                a catalog onto a failed network leaves a pair unroutable.
+        """
+        key = (src, dst)
+        if key in self._index:
+            raise ValueError(f"site pair {key} already registered")
+        ordered = sorted(tunnels, key=lambda t: t.weight)
+        if not ordered and not allow_empty:
+            raise ValueError(f"site pair {key} has no tunnels")
+        for tunnel in ordered:
+            if (tunnel.src, tunnel.dst) != key:
+                raise ValueError("tunnel does not belong to this site pair")
+        k = len(self._pairs)
+        self._pairs.append(key)
+        self._index[key] = k
+        self._tunnels.append(list(ordered))
+        return k
+
+    @property
+    def pairs(self) -> list[tuple[str, str]]:
+        """Ordered site pairs — the index set ``K``."""
+        return list(self._pairs)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self._pairs)
+
+    def pair_index(self, src: str, dst: str) -> int:
+        """The index ``k`` of a site pair."""
+        return self._index[(src, dst)]
+
+    def has_pair(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._index
+
+    def tunnels(self, k: int) -> list[Tunnel]:
+        """Tunnel set ``T_k`` (ascending weight)."""
+        return list(self._tunnels[k])
+
+    def tunnels_for(self, src: str, dst: str) -> list[Tunnel]:
+        return self.tunnels(self.pair_index(src, dst))
+
+    def all_tunnels(self) -> Iterator[tuple[int, int, Tunnel]]:
+        """Iterate ``(k, t_index, tunnel)`` over every tunnel."""
+        for k, tunnel_list in enumerate(self._tunnels):
+            for t_index, tunnel in enumerate(tunnel_list):
+                yield k, t_index, tunnel
+
+    def restricted_to_network(self, network: SiteNetwork) -> "TunnelCatalog":
+        """Drop tunnels using links absent from ``network`` (failures, §6.3).
+
+        Site pairs keep their indices; a pair whose tunnels are all dead is
+        retained with an empty tunnel list so demand accounting still sees
+        it (its flows simply cannot be placed).
+        """
+        catalog = TunnelCatalog(network)
+        for (src, dst), tunnel_list in zip(self._pairs, self._tunnels):
+            alive = [
+                t
+                for t in tunnel_list
+                if all(network.has_link(u, v) for u, v in t.links)
+            ]
+            catalog.add_pair(src, dst, alive, allow_empty=True)
+        return catalog
+
+
+def _k_shortest_paths(
+    graph: nx.DiGraph, src: str, dst: str, k: int
+) -> list[list[str]]:
+    try:
+        paths = nx.shortest_simple_paths(graph, src, dst, weight="latency_ms")
+        return list(islice(paths, k))
+    except nx.NetworkXNoPath:
+        return []
+
+
+def _diverse_paths(
+    graph: nx.DiGraph,
+    src: str,
+    dst: str,
+    k: int,
+    penalty: float = 8.0,
+) -> list[list[str]]:
+    """Penalty-based diverse shortest paths.
+
+    Repeatedly takes the shortest path and multiplies its links' weights
+    by ``penalty``, so subsequent paths avoid already-used links when an
+    alternative exists.  This mirrors how production TE pre-establishes
+    tunnel sets: a handful of genuinely different routes, not k
+    near-identical variants of one route (which is what plain k-shortest
+    simple paths returns on dense graphs).
+    """
+    working = graph.copy()
+    paths: list[list[str]] = []
+    seen: set[tuple[str, ...]] = set()
+    attempts = 0
+    while len(paths) < k and attempts < 3 * k:
+        attempts += 1
+        try:
+            path = nx.shortest_path(
+                working, src, dst, weight="latency_ms"
+            )
+        except nx.NetworkXNoPath:
+            break
+        key = tuple(path)
+        if key not in seen:
+            seen.add(key)
+            paths.append(path)
+        for u, v in zip(path, path[1:]):
+            working[u][v]["latency_ms"] *= penalty
+    return paths
+
+
+def build_tunnels(
+    network: SiteNetwork,
+    site_pairs: Iterable[tuple[str, str]] | None = None,
+    tunnels_per_pair: int = 4,
+    diverse: bool = True,
+) -> TunnelCatalog:
+    """Pre-establish tunnels for the given site pairs.
+
+    Args:
+        network: The site layer.
+        site_pairs: Ordered site pairs needing tunnels.  ``None`` means all
+            ordered pairs of distinct sites (viable only for small networks).
+        tunnels_per_pair: ``|T_k|`` upper bound; fewer when the topology
+            offers fewer simple paths.
+        diverse: Select link-diverse tunnels via penalty-based routing
+            (production style); ``False`` uses plain k-shortest simple
+            paths.
+
+    Returns:
+        A :class:`TunnelCatalog` with tunnels sorted by latency weight.
+    """
+    if tunnels_per_pair < 1:
+        raise ValueError("need at least one tunnel per pair")
+    graph = network.to_networkx()
+    if site_pairs is None:
+        sites = network.sites
+        site_pairs = [
+            (a, b) for a in sites for b in sites if a != b
+        ]
+    catalog = TunnelCatalog(network)
+    for src, dst in site_pairs:
+        if diverse:
+            paths = _diverse_paths(graph, src, dst, tunnels_per_pair)
+        else:
+            paths = _k_shortest_paths(graph, src, dst, tunnels_per_pair)
+        if not paths:
+            raise ValueError(f"no path between {src} and {dst}")
+        tunnels = [
+            Tunnel(
+                src=src,
+                dst=dst,
+                path=tuple(path),
+                weight=network.path_latency_ms(path),
+                cost_per_gbps=network.path_cost_per_gbps(path),
+                availability=network.path_availability(path),
+            )
+            for path in paths
+        ]
+        catalog.add_pair(src, dst, tunnels)
+    return catalog

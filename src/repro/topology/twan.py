@@ -1,0 +1,133 @@
+"""Synthetic TWAN: a Tencent-WAN-like production topology.
+
+The paper discloses only the orders of magnitude of TWAN (Table 2:
+``O(100)`` sites, ``O(1,000,000)`` endpoints) and that the site layer is
+"highly meshed".  We synthesize a topology with that structure plus the
+path diversity the §7 production studies exercise:
+
+* **regions** — clusters of sites around a regional hub; intra-region
+  links are short, cheap and highly available;
+* **premium core** — a full mesh of low-latency trunks among regional
+  hubs: high availability (five nines), high cost per Gbps, *moderate*
+  capacity (they are the contended resource);
+* **economy core** — each region also connects to an economy relay, and
+  relays are fully meshed with high-capacity, cheap, slower trunks of
+  lower availability.
+
+Between two regions there are therefore (at least) a premium path
+(hub → hub) and an economy path (hub → relay → relay → hub) — the
+high-availability/high-cost vs low-cost trade that Figures 16 and 17
+measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import SiteNetwork
+
+__all__ = ["twan"]
+
+
+def twan(
+    num_regions: int = 10,
+    sites_per_region: int = 10,
+    seed: int = 2022,
+    premium_capacity: float = 60.0,
+    economy_capacity: float = 400.0,
+    economy_latency_factor: float = 1.5,
+) -> SiteNetwork:
+    """Build the synthetic TWAN site layer.
+
+    Args:
+        num_regions: Geographic regions (each with one hub + one economy
+            relay).
+        sites_per_region: Sites per region, including the hub.
+        seed: RNG seed controlling capacities and latencies.
+        premium_capacity: Capacity of each premium hub-hub trunk (Gbps) —
+            keep moderate so bulk traffic overflows to the economy core.
+        economy_capacity: Capacity of each economy relay-relay trunk.
+        economy_latency_factor: Economy trunk latency relative to the
+            premium trunk between the same regions.
+
+    Returns:
+        A connected :class:`SiteNetwork` with
+        ``num_regions * (sites_per_region + 1)`` sites (default 110 — the
+        paper's O(100)).
+    """
+    if num_regions < 2 or sites_per_region < 2:
+        raise ValueError("TWAN needs at least 2 regions of 2 sites")
+    rng = np.random.default_rng(seed)
+    net = SiteNetwork(name="TWAN")
+
+    hubs: list[str] = []
+    relays: list[str] = []
+    for r in range(num_regions):
+        hub = f"TW-r{r:02d}-hub"
+        hubs.append(hub)
+        net.add_site(hub)
+        members = [hub]
+        for s in range(1, sites_per_region):
+            site = f"TW-r{r:02d}-s{s:02d}"
+            net.add_site(site)
+            members.append(site)
+        # Intra-region: hub spokes + a ring among leaf sites.
+        for i, site in enumerate(members[1:], start=1):
+            net.add_duplex_link(
+                hub,
+                site,
+                capacity=float(rng.choice([100.0, 200.0])),
+                latency_ms=float(rng.uniform(0.5, 3.0)),
+                cost_per_gbps=0.3,
+                availability=0.99999,
+            )
+            nxt = members[1 + (i % (len(members) - 1))]
+            if nxt != site and not net.has_link(site, nxt):
+                net.add_duplex_link(
+                    site,
+                    nxt,
+                    capacity=float(rng.choice([40.0, 100.0])),
+                    latency_ms=float(rng.uniform(0.5, 2.0)),
+                    cost_per_gbps=0.3,
+                    availability=0.99999,
+                )
+        # The region's economy relay, hanging off the hub.
+        relay = f"TW-r{r:02d}-eco"
+        relays.append(relay)
+        net.add_site(relay)
+        net.add_duplex_link(
+            hub,
+            relay,
+            capacity=economy_capacity,
+            latency_ms=float(rng.uniform(1.0, 3.0)),
+            cost_per_gbps=0.2,
+            availability=0.9995,
+        )
+
+    # Premium core: full mesh among hubs (the "highly meshed" first layer).
+    premium_latency: dict[tuple[int, int], float] = {}
+    for i, hub_a in enumerate(hubs):
+        for j in range(i + 1, len(hubs)):
+            latency = float(rng.uniform(5.0, 60.0))
+            premium_latency[(i, j)] = latency
+            net.add_duplex_link(
+                hub_a,
+                hubs[j],
+                capacity=premium_capacity,
+                latency_ms=latency,
+                cost_per_gbps=3.0,
+                availability=0.99999,
+            )
+    # Economy core: full mesh among relays — cheaper, slower, less
+    # available, but capacious.
+    for i, relay_a in enumerate(relays):
+        for j in range(i + 1, len(relays)):
+            net.add_duplex_link(
+                relay_a,
+                relays[j],
+                capacity=economy_capacity,
+                latency_ms=premium_latency[(i, j)] * economy_latency_factor,
+                cost_per_gbps=0.5,
+                availability=0.9975,
+            )
+    return net

@@ -1,0 +1,34 @@
+"""Traffic substrate: endpoint-granular demands and trace-style generators."""
+
+from .demand import DemandMatrix, PairDemands
+from .generator import TraceStyleGenerator, generate_demands, scale_to_load
+from .mapping import map_demands
+from .matrices import DiurnalSequence
+from .trace_io import (
+    demands_to_csv_string,
+    read_demands_csv,
+    write_demands_csv,
+)
+from .prediction import (
+    DiurnalPredictor,
+    EWMAPredictor,
+    LastValuePredictor,
+    prediction_error,
+)
+
+__all__ = [
+    "DemandMatrix",
+    "PairDemands",
+    "TraceStyleGenerator",
+    "generate_demands",
+    "scale_to_load",
+    "map_demands",
+    "DiurnalSequence",
+    "LastValuePredictor",
+    "EWMAPredictor",
+    "DiurnalPredictor",
+    "prediction_error",
+    "write_demands_csv",
+    "read_demands_csv",
+    "demands_to_csv_string",
+]

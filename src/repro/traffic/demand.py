@@ -1,0 +1,186 @@
+"""Endpoint-granular demand matrices.
+
+The TE input of Table 1: for each site pair ``k`` a set of endpoint pairs
+``i ∈ I_k``, each with a bandwidth demand ``d_k^i`` (Gbps over one TE
+interval) and a QoS class.  Demands are stored as NumPy arrays per site
+pair, so a matrix with hundreds of thousands of endpoint pairs stays cheap
+to aggregate (``SiteMerge``) and slice per QoS class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.qos import QoSClass
+
+__all__ = ["PairDemands", "DemandMatrix"]
+
+
+@dataclass
+class PairDemands:
+    """Demands of the endpoint pairs that connect one site pair ``k``.
+
+    Attributes:
+        volumes: ``d_k^i`` per endpoint pair, in Gbps (float array).
+        qos: QoS class value per endpoint pair (int array, values 1-3).
+        src_endpoints: Global id of each pair's source endpoint.
+        dst_endpoints: Global id of each pair's destination endpoint.
+    """
+
+    volumes: np.ndarray
+    qos: np.ndarray
+    src_endpoints: np.ndarray | None = None
+    dst_endpoints: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.volumes = np.asarray(self.volumes, dtype=np.float64)
+        self.qos = np.asarray(self.qos, dtype=np.int8)
+        if self.volumes.ndim != 1:
+            raise ValueError("volumes must be one-dimensional")
+        if self.qos.shape != self.volumes.shape:
+            raise ValueError("qos and volumes must align")
+        if np.any(self.volumes < 0):
+            raise ValueError("demands must be non-negative")
+        valid = np.isin(self.qos, [q.value for q in QoSClass])
+        if not bool(np.all(valid)):
+            raise ValueError("qos values must be 1, 2 or 3")
+        for name in ("src_endpoints", "dst_endpoints"):
+            arr = getattr(self, name)
+            if arr is not None:
+                arr = np.asarray(arr, dtype=np.int64)
+                if arr.shape != self.volumes.shape:
+                    raise ValueError(f"{name} must align with volumes")
+                setattr(self, name, arr)
+
+    @property
+    def num_pairs(self) -> int:
+        """``|I_k|`` — endpoint pairs on this site pair."""
+        return int(self.volumes.size)
+
+    @property
+    def total(self) -> float:
+        """``D_k = Σ_i d_k^i`` — the SiteMerge aggregate."""
+        return float(self.volumes.sum())
+
+    def select(self, mask: np.ndarray) -> "PairDemands":
+        """The sub-demands where ``mask`` is true (indices not preserved)."""
+        return PairDemands(
+            volumes=self.volumes[mask],
+            qos=self.qos[mask],
+            src_endpoints=(
+                None
+                if self.src_endpoints is None
+                else self.src_endpoints[mask]
+            ),
+            dst_endpoints=(
+                None
+                if self.dst_endpoints is None
+                else self.dst_endpoints[mask]
+            ),
+        )
+
+    def for_qos(self, qos: QoSClass) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, volumes)`` of the pairs in one QoS class.
+
+        Indices refer to positions within this :class:`PairDemands`, so a
+        per-class sub-solution can be scattered back into full-size arrays.
+        """
+        idx = np.flatnonzero(self.qos == qos.value)
+        return idx, self.volumes[idx]
+
+    @classmethod
+    def empty(cls) -> "PairDemands":
+        return cls(
+            volumes=np.empty(0, dtype=np.float64),
+            qos=np.empty(0, dtype=np.int8),
+        )
+
+
+class DemandMatrix:
+    """All endpoint-pair demands for one TE interval.
+
+    Indexed by site-pair index ``k``, aligned with a
+    :class:`~repro.topology.tunnels.TunnelCatalog`'s pair ordering.
+    """
+
+    def __init__(self, per_pair: Sequence[PairDemands]) -> None:
+        self._per_pair = list(per_pair)
+
+    @property
+    def num_site_pairs(self) -> int:
+        return len(self._per_pair)
+
+    def pair(self, k: int) -> PairDemands:
+        """Demands of site pair ``k``."""
+        return self._per_pair[k]
+
+    def __iter__(self) -> Iterator[PairDemands]:
+        return iter(self._per_pair)
+
+    @property
+    def num_endpoint_pairs(self) -> int:
+        """Total endpoint pairs across all site pairs."""
+        return sum(p.num_pairs for p in self._per_pair)
+
+    @property
+    def total_demand(self) -> float:
+        """Total demand volume across the matrix (Gbps)."""
+        return sum(p.total for p in self._per_pair)
+
+    def site_demands(self, qos: QoSClass | None = None) -> np.ndarray:
+        """``SiteMerge``: aggregated demand ``D_k`` per site pair.
+
+        Args:
+            qos: Restrict to one QoS class; ``None`` aggregates all classes.
+        """
+        out = np.zeros(len(self._per_pair), dtype=np.float64)
+        for k, pair in enumerate(self._per_pair):
+            if qos is None:
+                out[k] = pair.total
+            else:
+                _, volumes = pair.for_qos(qos)
+                out[k] = float(volumes.sum())
+        return out
+
+    def for_qos(self, qos: QoSClass) -> "DemandMatrix":
+        """The sub-matrix containing only one QoS class's pairs."""
+        return DemandMatrix(
+            [p.select(p.qos == qos.value) for p in self._per_pair]
+        )
+
+    def qos_share(self) -> dict[QoSClass, float]:
+        """Fraction of total volume per QoS class."""
+        total = self.total_demand
+        shares: dict[QoSClass, float] = {}
+        for qos in QoSClass:
+            vol = sum(
+                float(p.volumes[p.qos == qos.value].sum())
+                for p in self._per_pair
+            )
+            shares[qos] = vol / total if total > 0 else 0.0
+        return shares
+
+    def subsample(self, fraction: float, seed: int = 0) -> "DemandMatrix":
+        """Randomly keep a fraction of endpoint pairs on every site pair.
+
+        This implements §6.1's scale sweep: "for different topology scales
+        ... we randomly select the traffic demands from endpoint pairs
+        connecting to the same site pair."
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        out = []
+        for pair in self._per_pair:
+            keep = max(1, round(pair.num_pairs * fraction))
+            if pair.num_pairs == 0:
+                out.append(pair)
+                continue
+            idx = rng.choice(pair.num_pairs, size=keep, replace=False)
+            mask = np.zeros(pair.num_pairs, dtype=bool)
+            mask[np.sort(idx)] = True
+            out.append(pair.select(mask))
+        return DemandMatrix(out)

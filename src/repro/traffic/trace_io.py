@@ -1,0 +1,132 @@
+"""CSV import/export of demand matrices.
+
+Operators exchange traffic matrices as flat files; this module provides a
+stable CSV schema for endpoint-granular demands so scenarios can be
+shared, diffed and replayed:
+
+``site_pair_index,src_endpoint,dst_endpoint,volume_gbps,qos``
+
+Endpoint columns are empty for demands without endpoint identities (e.g.
+matrices produced by :func:`repro.traffic.mapping.map_demands`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TextIO
+
+import numpy as np
+
+from .demand import DemandMatrix, PairDemands
+
+__all__ = ["write_demands_csv", "read_demands_csv", "demands_to_csv_string"]
+
+_HEADER = ["site_pair_index", "src_endpoint", "dst_endpoint",
+           "volume_gbps", "qos"]
+
+
+def write_demands_csv(matrix: DemandMatrix, stream: TextIO) -> int:
+    """Write a demand matrix as CSV rows.
+
+    Returns:
+        The number of data rows written.
+    """
+    writer = csv.writer(stream)
+    writer.writerow(_HEADER)
+    rows = 0
+    for k, pair in enumerate(matrix):
+        for i in range(pair.num_pairs):
+            src = (
+                int(pair.src_endpoints[i])
+                if pair.src_endpoints is not None
+                else ""
+            )
+            dst = (
+                int(pair.dst_endpoints[i])
+                if pair.dst_endpoints is not None
+                else ""
+            )
+            writer.writerow(
+                [k, src, dst, repr(float(pair.volumes[i])),
+                 int(pair.qos[i])]
+            )
+            rows += 1
+    return rows
+
+
+def read_demands_csv(
+    stream: TextIO, num_site_pairs: int | None = None
+) -> DemandMatrix:
+    """Read a demand matrix from CSV.
+
+    Args:
+        stream: The CSV text stream (header required).
+        num_site_pairs: Total site pairs of the target catalog; defaults
+            to ``max(site_pair_index) + 1`` found in the file.  Pairs with
+            no rows become empty.
+
+    Raises:
+        ValueError: on a malformed header or out-of-range indices.
+    """
+    reader = csv.reader(stream)
+    header = next(reader, None)
+    if header != _HEADER:
+        raise ValueError(f"unexpected CSV header {header!r}")
+    rows_by_pair: dict[int, list] = {}
+    max_k = -1
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(_HEADER):
+            raise ValueError(f"malformed row at line {line_number}")
+        k = int(row[0])
+        if k < 0:
+            raise ValueError(f"negative site pair index at line "
+                             f"{line_number}")
+        max_k = max(max_k, k)
+        src = int(row[1]) if row[1] != "" else None
+        dst = int(row[2]) if row[2] != "" else None
+        rows_by_pair.setdefault(k, []).append(
+            (src, dst, float(row[3]), int(row[4]))
+        )
+    total_pairs = (
+        num_site_pairs if num_site_pairs is not None else max_k + 1
+    )
+    if max_k >= total_pairs:
+        raise ValueError(
+            f"site pair index {max_k} exceeds catalog size {total_pairs}"
+        )
+    per_pair = []
+    for k in range(max(total_pairs, 0)):
+        rows = rows_by_pair.get(k, [])
+        if not rows:
+            per_pair.append(PairDemands.empty())
+            continue
+        has_endpoints = all(
+            r[0] is not None and r[1] is not None for r in rows
+        )
+        per_pair.append(
+            PairDemands(
+                volumes=np.array([r[2] for r in rows]),
+                qos=np.array([r[3] for r in rows], dtype=np.int8),
+                src_endpoints=(
+                    np.array([r[0] for r in rows], dtype=np.int64)
+                    if has_endpoints
+                    else None
+                ),
+                dst_endpoints=(
+                    np.array([r[1] for r in rows], dtype=np.int64)
+                    if has_endpoints
+                    else None
+                ),
+            )
+        )
+    return DemandMatrix(per_pair)
+
+
+def demands_to_csv_string(matrix: DemandMatrix) -> str:
+    """The matrix as one CSV string (convenience for tests/logging)."""
+    buffer = io.StringIO()
+    write_demands_csv(matrix, buffer)
+    return buffer.getvalue()

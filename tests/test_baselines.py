@@ -1,0 +1,270 @@
+"""Tests for the baseline TE schemes (LP-all, NCFlow, TEAL, hash MCF)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ConventionalMCF, LPAllTE, NCFlowTE, TealTE
+from repro.baselines.hash_te import hash_to_unit
+from repro.baselines.teal import MAX_TENSOR_ENTRIES
+from repro.core import MegaTEOptimizer
+from repro.traffic import DemandMatrix
+
+from conftest import make_pair_demands
+
+
+class TestLPAll:
+    def test_upper_bounds_megate(self, b4_topology, b4_demands):
+        lp = LPAllTE().solve(b4_topology, b4_demands)
+        megate = MegaTEOptimizer().solve(b4_topology, b4_demands)
+        assert lp.satisfied_volume >= megate.satisfied_volume - 1e-6
+
+    def test_fractional_flag(self, tiny_topology, tiny_demands):
+        result = LPAllTE().solve(tiny_topology, tiny_demands)
+        assert result.stats["fractional"]
+        assert result.scheme == "LP-all"
+
+    def test_light_load_fully_satisfied(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0, 1.0])])
+        result = LPAllTE().solve(tiny_topology, demands)
+        assert result.satisfied_fraction == pytest.approx(1.0)
+
+    def test_size_guard_is_oom_analogue(self, b4_topology):
+        rng = np.random.default_rng(0)
+        huge = DemandMatrix(
+            [
+                make_pair_demands(rng.uniform(0.1, 1, size=60_000))
+                for _ in range(b4_topology.catalog.num_pairs)
+            ]
+        )
+        with pytest.raises(ValueError):
+            LPAllTE().solve(b4_topology, huge)
+
+
+class TestNCFlow:
+    def test_below_lp_all(self, b4_topology, b4_demands):
+        lp = LPAllTE().solve(b4_topology, b4_demands)
+        nc = NCFlowTE().solve(b4_topology, b4_demands)
+        assert nc.satisfied_volume <= lp.satisfied_volume + 1e-6
+
+    def test_cluster_stats_present(self, b4_topology, b4_demands):
+        result = NCFlowTE().solve(b4_topology, b4_demands)
+        assert result.stats["num_clusters"] >= 1
+        assert result.stats["num_bundles"] >= 1
+        assert result.stats["parallel_runtime_s"] <= result.runtime_s
+
+    def test_cluster_count_parameter(self, b4_topology, b4_demands):
+        result = NCFlowTE(num_clusters=2).solve(b4_topology, b4_demands)
+        assert result.stats["num_clusters"] <= 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NCFlowTE(num_clusters=0)
+        with pytest.raises(ValueError):
+            NCFlowTE(paths_per_commodity=0)
+
+    def test_clustering_covers_all_sites(self, b4_network):
+        clusters = NCFlowTE().cluster_sites(b4_network)
+        assert set(clusters) == set(b4_network.sites)
+
+    def test_assignment_uses_valid_tunnel_indices(
+        self, b4_topology, b4_demands
+    ):
+        result = NCFlowTE().solve(b4_topology, b4_demands)
+        for k, arr in enumerate(result.assignment.per_pair):
+            n_tunnels = len(b4_topology.catalog.tunnels(k))
+            assert (arr >= -1).all()
+            assert (arr < n_tunnels).all()
+
+
+class TestTEAL:
+    def test_below_lp_all(self, b4_topology, b4_demands):
+        lp = LPAllTE().solve(b4_topology, b4_demands)
+        teal = TealTE().solve(b4_topology, b4_demands)
+        assert teal.satisfied_volume <= lp.satisfied_volume + 1e-6
+
+    def test_capacity_feasible_fractionally(
+        self, b4_topology, b4_demands
+    ):
+        """TEAL's final projection guarantees no link overload."""
+        result = TealTE().solve(b4_topology, b4_demands)
+        # Rebuild fractional loads from stats? The aggregate check:
+        # satisfied volume cannot exceed the LP optimum (checked above);
+        # here check it also cannot exceed raw capacity sum.
+        cap = sum(l.capacity for l in b4_topology.network.links)
+        assert result.satisfied_volume < cap
+
+    def test_more_iterations_helps_or_equal(self, b4_topology, b4_demands):
+        few = TealTE(admm_iterations=1).solve(b4_topology, b4_demands)
+        many = TealTE(admm_iterations=30).solve(b4_topology, b4_demands)
+        assert many.satisfied_volume >= few.satisfied_volume * 0.9
+
+    def test_tensor_guard(self, b4_topology):
+        rng = np.random.default_rng(0)
+        n = MAX_TENSOR_ENTRIES // 3 // b4_topology.catalog.num_pairs + 1
+        huge = DemandMatrix(
+            [
+                make_pair_demands(rng.uniform(0.1, 1, size=n))
+                for _ in range(b4_topology.catalog.num_pairs)
+            ]
+        )
+        with pytest.raises(ValueError, match="out of memory"):
+            TealTE().solve(b4_topology, huge)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TealTE(admm_iterations=-1)
+        with pytest.raises(ValueError):
+            TealTE(rho=0.0)
+
+    def test_empty_demands(self, tiny_topology):
+        result = TealTE().solve(tiny_topology, DemandMatrix([
+            make_pair_demands([])
+        ]))
+        assert result.satisfied_volume == 0.0
+
+
+class TestHashToUnit:
+    def test_range(self):
+        src = np.arange(1000, dtype=np.int64)
+        dst = np.arange(1000, 2000, dtype=np.int64)
+        coins = hash_to_unit(src, dst, epoch=0)
+        assert (coins >= 0).all() and (coins < 1).all()
+
+    def test_deterministic_per_epoch(self):
+        src = np.arange(100, dtype=np.int64)
+        dst = src + 7
+        a = hash_to_unit(src, dst, epoch=3)
+        b = hash_to_unit(src, dst, epoch=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_epoch_changes_hash(self):
+        src = np.arange(100, dtype=np.int64)
+        dst = src + 7
+        a = hash_to_unit(src, dst, epoch=0)
+        b = hash_to_unit(src, dst, epoch=1)
+        assert (a != b).any()
+
+    def test_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 1 << 30, size=20_000)
+        dst = rng.integers(0, 1 << 30, size=20_000)
+        coins = hash_to_unit(src, dst, epoch=0)
+        hist, _ = np.histogram(coins, bins=10, range=(0, 1))
+        assert hist.min() > 1500  # each decile near 2000
+
+
+class TestConventionalMCF:
+    def test_split_follows_aggregate_shares(self, tiny_topology):
+        """With both tunnels allocated, hashing spreads flows across them."""
+        rng = np.random.default_rng(0)
+        demands = DemandMatrix(
+            [
+                make_pair_demands(
+                    rng.uniform(0.05, 0.15, size=200).tolist(),
+                    with_endpoints=True,
+                )
+            ]
+        )
+        result = ConventionalMCF().solve(tiny_topology, demands)
+        assigned = result.assignment.per_pair[0]
+        used = set(assigned[assigned >= 0].tolist())
+        assert used == {0, 1}
+
+    def test_epoch_rerolls_assignment(self, tiny_topology):
+        # ~20 Gbps over a 10 Gbps short path: both tunnels carry traffic,
+        # so the hash genuinely splits and re-rolls across epochs.
+        rng = np.random.default_rng(0)
+        demands = DemandMatrix(
+            [
+                make_pair_demands(
+                    rng.uniform(0.1, 0.3, size=100).tolist(),
+                    with_endpoints=True,
+                )
+            ]
+        )
+        scheme = ConventionalMCF()
+        a = scheme.solve(tiny_topology, demands, epoch=0)
+        b = scheme.solve(tiny_topology, demands, epoch=1)
+        assert (
+            a.assignment.per_pair[0] != b.assignment.per_pair[0]
+        ).any()
+
+    def test_qos_blind(self, tiny_topology):
+        """Class-1 flows are NOT preferentially put on the short tunnel."""
+        rng = np.random.default_rng(1)
+        volumes = rng.uniform(0.05, 0.15, size=400).tolist()
+        qos = ([1] * 200) + ([3] * 200)
+        demands = DemandMatrix(
+            [make_pair_demands(volumes, qos=qos, with_endpoints=True)]
+        )
+        result = ConventionalMCF().solve(tiny_topology, demands)
+        pair = demands.pair(0)
+        assigned = result.assignment.per_pair[0]
+        frac_long_c1 = float(
+            (assigned[pair.qos == 1] == 1).mean()
+        )
+        frac_long_c3 = float(
+            (assigned[pair.qos == 3] == 1).mean()
+        )
+        # Both classes land on the long tunnel at similar rates.
+        assert abs(frac_long_c1 - frac_long_c3) < 0.15
+
+    def test_site_allocation_exposed(self, tiny_topology, tiny_demands):
+        result = ConventionalMCF().solve(tiny_topology, tiny_demands)
+        assert result.site_allocation is not None
+        assert result.stats["aggregate_allocation"] >= 0
+
+
+class TestPOP:
+    def test_below_lp_all(self, b4_topology, b4_demands):
+        from repro.baselines import POPTE
+
+        lp = LPAllTE().solve(b4_topology, b4_demands)
+        pop = POPTE(num_partitions=4).solve(b4_topology, b4_demands)
+        assert pop.satisfied_volume <= lp.satisfied_volume + 1e-6
+
+    def test_single_partition_matches_lp(self, b4_topology, b4_demands):
+        from repro.baselines import POPTE
+
+        lp = LPAllTE().solve(b4_topology, b4_demands)
+        pop = POPTE(num_partitions=1).solve(b4_topology, b4_demands)
+        assert pop.satisfied_volume == pytest.approx(
+            lp.satisfied_volume, rel=1e-6
+        )
+
+    def test_quality_decays_with_partitions(
+        self, b4_topology, b4_demands
+    ):
+        """The paper's §4.2 critique, measured."""
+        from repro.baselines import POPTE
+
+        few = POPTE(num_partitions=2).solve(b4_topology, b4_demands)
+        many = POPTE(num_partitions=32).solve(b4_topology, b4_demands)
+        assert many.satisfied_volume <= few.satisfied_volume + 1e-6
+
+    def test_partition_deterministic(self, b4_topology, b4_demands):
+        from repro.baselines import POPTE
+
+        a = POPTE(num_partitions=4, seed=7).solve(
+            b4_topology, b4_demands
+        )
+        b = POPTE(num_partitions=4, seed=7).solve(
+            b4_topology, b4_demands
+        )
+        assert a.satisfied_volume == pytest.approx(b.satisfied_volume)
+
+    def test_stats(self, b4_topology, b4_demands):
+        from repro.baselines import POPTE
+
+        result = POPTE(num_partitions=3).solve(b4_topology, b4_demands)
+        assert result.stats["num_partitions"] == 3
+        assert len(result.stats["sub_lp_seconds"]) == 3
+        assert result.scheme == "POP"
+
+    def test_invalid_partitions(self):
+        from repro.baselines import POPTE
+
+        with pytest.raises(ValueError):
+            POPTE(num_partitions=0)

@@ -1,0 +1,243 @@
+"""Tests for the CLI and text reporting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.reporting import format_value, render_table
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_nan_rendered_as_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_tiny_floats_scientific(self):
+        assert "e" in format_value(1e-9)
+
+    def test_ints_and_strings(self):
+        assert format_value(42) == "42"
+        assert format_value("x") == "x"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0.000"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["name", "value"],
+            [("a", 1.0), ("long-name", 12.5)],
+            precision=1,
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally wide
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        table = render_table(["a"], [])
+        assert "a" in table
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "fastssp" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "Deltacom" in out and "113" in out
+
+    def test_fig13(self, capsys):
+        assert main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "6000" in out and "90.0" in out
+
+    def test_fig14(self, capsys):
+        assert main(["fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "1000000" in out
+
+    def test_fig08(self, capsys):
+        assert main(["fig08", "--sites", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "Weibull" in out
+
+    def test_database(self, capsys):
+        assert main(["database", "--endpoints", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "rejected 0" in out
+
+    def test_fastssp(self, capsys):
+        assert main(["fastssp", "--instances", "2", "--items", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "True" in out
+
+    def test_fig02(self, capsys):
+        assert main(["fig02", "--epochs", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "pair #4" in out or "modes" in out
+
+    def test_parser_covers_all_commands(self):
+        parser = build_parser()
+        # Parsing each registered command with defaults must not raise.
+        for command in ("fig13", "fig14", "list"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestSparkline:
+    def test_basic_shape(self):
+        from repro.experiments.reporting import render_sparkline
+
+        line = render_sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series(self):
+        from repro.experiments.reporting import render_sparkline
+
+        assert render_sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_nan_rendered_as_space(self):
+        from repro.experiments.reporting import render_sparkline
+
+        line = render_sparkline([1.0, float("nan"), 2.0])
+        assert line[1] == " "
+
+    def test_downsampling(self):
+        from repro.experiments.reporting import render_sparkline
+
+        line = render_sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_empty(self):
+        from repro.experiments.reporting import render_sparkline
+
+        assert render_sparkline([]) == ""
+
+
+class TestRenderCDF:
+    def test_shape(self):
+        from repro.experiments.reporting import render_cdf
+
+        plot = render_cdf([1, 2, 3, 4, 5], width=20, height=4)
+        lines = plot.splitlines()
+        assert len(lines) == 6  # 4 rows + axis + labels
+
+    def test_monotone_fill(self):
+        from repro.experiments.reporting import render_cdf
+
+        plot = render_cdf(list(range(100)), width=30, height=5)
+        rows = plot.splitlines()[:5]
+        # Lower CDF thresholds have at least as much fill.
+        fills = [row.count("█") for row in rows]
+        assert fills == sorted(fills)
+
+    def test_empty(self):
+        from repro.experiments.reporting import render_cdf
+
+        assert render_cdf([]) == "(empty)"
+
+
+class TestSolveCommand:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        from repro.topology import b4, contract, dump_topology
+        from repro.traffic import generate_demands, write_demands_csv
+
+        topo = contract(
+            b4(),
+            site_pairs=[("B4-00", "B4-05")],
+            tunnels_per_pair=2,
+            total_endpoints=60,
+            seed=1,
+        )
+        demands = generate_demands(topo, seed=2, target_load=1.0)
+        tpath = str(tmp_path / "t.json")
+        dpath = str(tmp_path / "d.csv")
+        dump_topology(topo, tpath)
+        with open(dpath, "w", encoding="utf-8") as handle:
+            write_demands_csv(demands, handle)
+        return tpath, dpath
+
+    def test_solve_with_demand_file(self, artifacts, capsys):
+        tpath, dpath = artifacts
+        assert main(
+            ["solve", "--topology", tpath, "--demands", dpath]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MegaTE" in out and "satisfied" in out
+
+    def test_solve_generates_demands(self, artifacts, capsys):
+        tpath, _ = artifacts
+        assert main(
+            ["solve", "--topology", tpath, "--load", "1.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "feasible=True" in out
+
+    def test_solve_other_scheme(self, artifacts, capsys):
+        tpath, dpath = artifacts
+        assert main(
+            ["solve", "--topology", tpath, "--demands", dpath,
+             "--scheme", "teal"]
+        ) == 0
+        assert "TEAL" in capsys.readouterr().out
+
+
+class TestVerifyScorecard:
+    def test_fast_checks_pass(self):
+        from repro.experiments.summary import (
+            _check_database,
+            _check_fastssp,
+            _check_fig13_fig14,
+            _check_table2,
+        )
+
+        for check in (
+            _check_table2,
+            _check_fig13_fig14,
+            _check_database,
+            _check_fastssp,
+        ):
+            result = check()
+            assert result.passed, (result.name, result.measured)
+            assert result.claim and result.measured
+
+    def test_crashing_check_reported_not_raised(self, monkeypatch):
+        import repro.experiments.summary as summary
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(summary, "_CHECKS", [boom])
+        results = summary.run_all_checks()
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "kaboom" in results[0].measured
+
+    def test_verify_in_parser(self):
+        parser = build_parser()
+        args = parser.parse_args(["verify"])
+        assert args.command == "verify"

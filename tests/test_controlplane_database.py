@@ -1,0 +1,94 @@
+"""Tests for the sharded, versioned TE database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane import (
+    QueryRejected,
+    SHARD_CAPACITY_QPS,
+    TEDatabase,
+)
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        db = TEDatabase()
+        version = db.put("k", {"x": 1})
+        value, got_version = db.get("k")
+        assert value == {"x": 1}
+        assert got_version == version == 1
+
+    def test_version_increments(self):
+        db = TEDatabase()
+        assert db.put("k", "a") == 1
+        assert db.put("k", "b") == 2
+        value, version = db.get("k")
+        assert value == "b" and version == 2
+
+    def test_get_version_unknown_key_is_zero(self):
+        db = TEDatabase()
+        assert db.get_version("missing") == 0
+
+    def test_get_unknown_key_raises(self):
+        db = TEDatabase()
+        with pytest.raises(KeyError):
+            db.get("missing")
+
+    def test_sharding_deterministic(self):
+        db = TEDatabase(num_shards=4)
+        assert db.shard_of("abc") == db.shard_of("abc")
+        assert 0 <= db.shard_of("abc") < 4
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TEDatabase(num_shards=0)
+        with pytest.raises(ValueError):
+            TEDatabase(shard_capacity_qps=0)
+
+
+class TestCapacityAccounting:
+    def test_paper_capacity_default(self):
+        db = TEDatabase(num_shards=2)
+        assert db.total_capacity_qps == 160_000  # §3.2
+
+    def test_linear_scaling(self):
+        assert TEDatabase(num_shards=4).total_capacity_qps == 320_000
+
+    def test_rejection_over_capacity(self):
+        db = TEDatabase(num_shards=1, shard_capacity_qps=3)
+        for _ in range(3):
+            db.get_version("k", now=5.0)
+        with pytest.raises(QueryRejected):
+            db.get_version("k", now=5.2)
+
+    def test_capacity_resets_next_second(self):
+        db = TEDatabase(num_shards=1, shard_capacity_qps=2)
+        db.get_version("k", now=1.0)
+        db.get_version("k", now=1.5)
+        # New second: fine again.
+        db.get_version("k", now=2.0)
+
+    def test_unenforced_mode_counts_only(self):
+        db = TEDatabase(
+            num_shards=1, shard_capacity_qps=1, enforce_capacity=False
+        )
+        for _ in range(10):
+            db.get_version("k", now=0.0)
+        assert db.stats(0).peak_qps == 10
+
+    def test_stats(self):
+        db = TEDatabase(num_shards=1)
+        db.put("a", 1, now=0.0)
+        db.get("a", now=0.0)
+        db.get_version("a", now=0.5)
+        assert db.total_queries() == 3
+        assert db.peak_qps() == 3
+
+    def test_reset_load_accounting_keeps_data(self):
+        db = TEDatabase(num_shards=1)
+        db.put("a", 42)
+        db.reset_load_accounting()
+        assert db.total_queries() == 0
+        value, _ = db.get("a")
+        assert value == 42

@@ -1,0 +1,96 @@
+"""Tests for the hybrid synchronization extension (§8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.controlplane import (
+    exposure_after_failure,
+    plan_hybrid_sync,
+    topdown_resources,
+)
+
+
+def _heavy_tailed_volumes(n=10_000, seed=0):
+    # Log-normal with a large sigma: the "small part of the flows account
+    # for most of the network traffic" regime §8 describes.
+    rng = np.random.default_rng(seed)
+    return rng.lognormal(0.0, 2.5, size=n)
+
+
+class TestPlanHybridSync:
+    def test_few_endpoints_cover_most_volume(self):
+        """The §8 premise: a small part of flows owns most traffic."""
+        volumes = _heavy_tailed_volumes()
+        plan = plan_hybrid_sync(volumes, volume_coverage=0.9)
+        assert plan.pushed_volume_fraction >= 0.9
+        assert plan.pushed_endpoints < 0.3 * volumes.size
+
+    def test_partition_is_complete(self):
+        volumes = _heavy_tailed_volumes(n=500)
+        plan = plan_hybrid_sync(volumes)
+        assert plan.pushed_endpoints + plan.pulled_endpoints == 500
+
+    def test_full_coverage_pushes_everyone(self):
+        volumes = np.ones(100)
+        plan = plan_hybrid_sync(volumes, volume_coverage=1.0)
+        assert plan.pushed_endpoints == 100
+        assert plan.pushed_volume_fraction == pytest.approx(1.0)
+
+    def test_resources_far_below_topdown(self):
+        volumes = _heavy_tailed_volumes(n=100_000)
+        plan = plan_hybrid_sync(volumes, volume_coverage=0.9)
+        full = topdown_resources(volumes.size)
+        assert plan.resources.cpu_cores < full.cpu_cores / 2
+        assert plan.resources.memory_gb <= full.memory_gb
+
+    def test_uniform_volumes_push_the_fraction(self):
+        volumes = np.ones(1000)
+        plan = plan_hybrid_sync(volumes, volume_coverage=0.5)
+        assert plan.pushed_endpoints == 500
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_hybrid_sync(np.ones(5), volume_coverage=0.0)
+        with pytest.raises(ValueError):
+            plan_hybrid_sync(np.array([]))
+        with pytest.raises(ValueError):
+            plan_hybrid_sync(np.array([-1.0]))
+
+
+class TestExposure:
+    def test_hybrid_reduces_exposure(self):
+        volumes = _heavy_tailed_volumes()
+        hybrid = plan_hybrid_sync(volumes, volume_coverage=0.9)
+        pull_only = plan_hybrid_sync(volumes, volume_coverage=1e-9)
+        exposed_hybrid = exposure_after_failure(volumes, hybrid)
+        exposed_pull = exposure_after_failure(volumes, pull_only)
+        assert exposed_hybrid < exposed_pull * 0.2
+
+    def test_push_everything_zero_exposure(self):
+        volumes = np.ones(100)
+        plan = plan_hybrid_sync(volumes, volume_coverage=1.0)
+        assert exposure_after_failure(volumes, plan) == 0.0
+
+    def test_exposure_scales_with_period(self):
+        volumes = _heavy_tailed_volumes(n=1000)
+        plan = plan_hybrid_sync(volumes, volume_coverage=0.5)
+        short = exposure_after_failure(volumes, plan, poll_period_s=5.0)
+        long = exposure_after_failure(volumes, plan, poll_period_s=20.0)
+        assert long == pytest.approx(short * 4.0)
+
+    def test_affected_fraction(self):
+        volumes = np.ones(10)
+        plan = plan_hybrid_sync(volumes, volume_coverage=0.5)
+        full = exposure_after_failure(volumes, plan, affected_fraction=1.0)
+        half = exposure_after_failure(volumes, plan, affected_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_invalid_inputs(self):
+        volumes = np.ones(10)
+        plan = plan_hybrid_sync(volumes)
+        with pytest.raises(ValueError):
+            exposure_after_failure(volumes, plan, poll_period_s=0.0)
+        with pytest.raises(ValueError):
+            exposure_after_failure(volumes, plan, affected_fraction=2.0)

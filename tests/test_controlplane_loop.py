@@ -1,0 +1,227 @@
+"""Tests for the bottom-up control loop: controller, agents, convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.controlplane import (
+    EndpointAgent,
+    TEController,
+    TEDatabase,
+    VERSION_KEY,
+    analytic_convergence,
+    config_key,
+    simulate_convergence,
+    spread_offsets,
+)
+from repro.core import MegaTEOptimizer
+
+
+@pytest.fixture()
+def published(tiny_topology, tiny_demands):
+    """A database with one published TE interval."""
+    db = TEDatabase(enforce_capacity=False)
+    controller = TEController(db, optimizer=MegaTEOptimizer())
+    result = controller.run_interval(tiny_topology, tiny_demands, now=0.0)
+    return db, controller, result
+
+
+class TestController:
+    def test_version_bumped(self, published):
+        db, controller, _ = published
+        assert controller.current_version == 1
+        assert db.get_version(VERSION_KEY) == 1
+
+    def test_configs_written_for_source_endpoints(self, published):
+        db, _, result = published
+        pair = result.demands.pair(0)
+        assigned = result.assignment.per_pair[0]
+        for i in np.flatnonzero(assigned >= 0):
+            src = int(pair.src_endpoints[i])
+            config, _ = db.get(config_key(src))
+            assert config.version == 1
+            assert int(pair.dst_endpoints[i]) in config.paths
+
+    def test_paths_match_assignment(
+        self, published, tiny_topology
+    ):
+        db, _, result = published
+        pair = result.demands.pair(0)
+        assigned = result.assignment.per_pair[0]
+        tunnels = tiny_topology.catalog.tunnels(0)
+        for i in np.flatnonzero(assigned >= 0):
+            src = int(pair.src_endpoints[i])
+            dst = int(pair.dst_endpoints[i])
+            config, _ = db.get(config_key(src))
+            assert config.paths[dst] == tunnels[int(assigned[i])].path
+
+    def test_republish_increments(
+        self, published, tiny_topology, tiny_demands
+    ):
+        db, controller, _ = published
+        controller.run_interval(tiny_topology, tiny_demands, now=300.0)
+        assert db.get_version(VERSION_KEY) == 2
+
+
+class TestAgent:
+    def test_pull_on_new_version(self, published):
+        db, _, result = published
+        pair = result.demands.pair(0)
+        src = int(pair.src_endpoints[0])
+        agent = EndpointAgent(endpoint_id=src)
+        assert agent.poll(db, now=1.0)
+        assert agent.local_version == 1
+        assert agent.paths
+
+    def test_no_pull_when_current(self, published):
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        agent = EndpointAgent(endpoint_id=src)
+        agent.poll(db, now=1.0)
+        queries_before = db.total_queries()
+        assert not agent.poll(db, now=2.0)
+        # Only the version check, no config fetch.
+        assert db.total_queries() == queries_before + 1
+
+    def test_agent_without_config_tracks_version(self, published):
+        db, _, _ = published
+        agent = EndpointAgent(endpoint_id=999_999)
+        assert not agent.poll(db, now=1.0)
+        assert agent.local_version == 1
+
+    def test_on_install_callback(self, published):
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        installed = []
+        agent = EndpointAgent(
+            endpoint_id=src, on_install=installed.append
+        )
+        agent.poll(db, now=1.0)
+        assert len(installed) == 1
+        assert installed[0].endpoint_id == src
+
+    def test_maybe_poll_respects_slots(self, published):
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        agent = EndpointAgent(
+            endpoint_id=src, poll_period_s=10.0, poll_offset_s=3.0
+        )
+        assert not agent.maybe_poll(db, now=2.0)  # before first slot
+        assert agent.maybe_poll(db, now=3.5)  # slot 0
+        assert not agent.maybe_poll(db, now=4.0)  # same slot
+        # Next slot, but nothing new to pull.
+        assert not agent.maybe_poll(db, now=13.5)
+
+    def test_next_poll_time(self):
+        agent = EndpointAgent(
+            endpoint_id=1, poll_period_s=10.0, poll_offset_s=3.0
+        )
+        assert agent.next_poll_time(0.0) == pytest.approx(3.0)
+        assert agent.next_poll_time(3.0) == pytest.approx(3.0)
+        assert agent.next_poll_time(4.0) == pytest.approx(13.0)
+
+    def test_path_to(self, published):
+        db, _, result = published
+        pair = result.demands.pair(0)
+        assigned = result.assignment.per_pair[0]
+        i = int(np.flatnonzero(assigned >= 0)[0])
+        src = int(pair.src_endpoints[i])
+        dst = int(pair.dst_endpoints[i])
+        agent = EndpointAgent(endpoint_id=src)
+        agent.poll(db, now=1.0)
+        assert agent.path_to(dst) is not None
+        assert agent.path_to(10**9) is None
+
+
+class TestConvergence:
+    def test_spread_offsets_within_window(self):
+        offsets = spread_offsets(1000, window_s=10.0, seed=0)
+        assert offsets.min() >= 0.0
+        assert offsets.max() < 10.0
+
+    def test_analytic_converges_within_one_period(self):
+        offsets = spread_offsets(500, window_s=10.0, seed=1)
+        report = analytic_convergence(
+            publish_time=123.0, offsets=offsets, poll_period_s=10.0
+        )
+        assert report.convergence_time_s <= 10.0
+        assert report.fraction_converged_by(10.0) == 1.0
+        assert 0 < report.fraction_converged_by(5.0) < 1.0
+
+    def test_analytic_mean_delay_half_period(self):
+        offsets = spread_offsets(5000, window_s=10.0, seed=2)
+        report = analytic_convergence(
+            publish_time=50.0, offsets=offsets, poll_period_s=10.0
+        )
+        assert report.mean_delay_s == pytest.approx(5.0, abs=0.5)
+
+    def test_simulated_matches_analytic(self, published):
+        db, _, result = published
+        pair = result.demands.pair(0)
+        sources = sorted(set(pair.src_endpoints.tolist()))
+        offsets = spread_offsets(len(sources), window_s=5.0, seed=3)
+        agents = [
+            EndpointAgent(
+                endpoint_id=int(src),
+                poll_period_s=5.0,
+                poll_offset_s=float(off),
+            )
+            for src, off in zip(sources, offsets)
+        ]
+        report = simulate_convergence(
+            agents, db, publish_time=0.0, tick_s=0.5
+        )
+        assert np.isfinite(report.update_delays_s).all()
+        assert report.convergence_time_s <= 5.0 + 0.5
+
+    def test_empty_fleet(self):
+        db = TEDatabase()
+        report = simulate_convergence([], db, publish_time=0.0)
+        assert report.convergence_time_s == 0.0
+
+
+class TestDeltaPublish:
+    def test_unchanged_interval_writes_nothing(
+        self, tiny_topology, tiny_demands
+    ):
+        db = TEDatabase(enforce_capacity=False)
+        controller = TEController(db, optimizer=MegaTEOptimizer())
+        controller.run_interval(tiny_topology, tiny_demands, now=0.0)
+        first_writes = controller.last_publish_writes
+        assert first_writes > 0
+        # Same demands -> same assignment -> zero config rewrites.
+        controller.run_interval(tiny_topology, tiny_demands, now=300.0)
+        assert controller.last_publish_writes == 0
+        assert controller.current_version == 2
+
+    def test_delta_disabled_rewrites_everything(
+        self, tiny_topology, tiny_demands
+    ):
+        db = TEDatabase(enforce_capacity=False)
+        controller = TEController(
+            db, optimizer=MegaTEOptimizer(), delta_publish=False
+        )
+        controller.run_interval(tiny_topology, tiny_demands, now=0.0)
+        first = controller.last_publish_writes
+        controller.run_interval(tiny_topology, tiny_demands, now=300.0)
+        assert controller.last_publish_writes == first
+
+    def test_agents_still_converge_after_delta_publish(
+        self, tiny_topology, tiny_demands
+    ):
+        import numpy as np
+
+        db = TEDatabase(enforce_capacity=False)
+        controller = TEController(db, optimizer=MegaTEOptimizer())
+        result = controller.run_interval(
+            tiny_topology, tiny_demands, now=0.0
+        )
+        controller.run_interval(tiny_topology, tiny_demands, now=300.0)
+        pair = result.demands.pair(0)
+        assigned = result.assignment.per_pair[0]
+        src = int(pair.src_endpoints[np.flatnonzero(assigned >= 0)[0]])
+        agent = EndpointAgent(endpoint_id=src)
+        assert agent.poll(db, now=305.0)
+        assert agent.local_version == 2
+        assert agent.paths

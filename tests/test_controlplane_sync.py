@@ -1,0 +1,87 @@
+"""Tests for the synchronization cost models (Figures 13-14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane import (
+    bottomup_resources,
+    persistent_connection_load,
+    required_shards,
+    topdown_resources,
+)
+
+
+class TestPersistentConnections:
+    def test_paper_calibration_point(self):
+        """6,000 connections -> 90% CPU, 750 MB (Fig. 13)."""
+        cpu, memory = persistent_connection_load(6000)
+        assert cpu == pytest.approx(90.0)
+        assert memory == pytest.approx(750.0)
+
+    def test_linear_below_saturation(self):
+        cpu3, mem3 = persistent_connection_load(3000)
+        assert cpu3 == pytest.approx(45.0)
+        assert mem3 == pytest.approx(375.0)
+
+    def test_cpu_saturates_at_100(self):
+        cpu, _ = persistent_connection_load(100_000)
+        assert cpu == 100.0
+
+    def test_zero_connections(self):
+        assert persistent_connection_load(0) == (0.0, 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            persistent_connection_load(-1)
+
+
+class TestTopDown:
+    def test_million_endpoints_paper_numbers(self):
+        """1M endpoints -> ≥167 cores, ~125 GB (Fig. 14 / §6.4)."""
+        est = topdown_resources(1_000_000)
+        assert est.cpu_cores == pytest.approx(166.7, rel=0.01)
+        assert est.memory_gb == pytest.approx(122.0, rel=0.05)
+
+    def test_small_fleet_one_core(self):
+        est = topdown_resources(1_000)
+        assert est.cpu_cores == 1.0
+        assert est.memory_gb == 1.0
+
+    def test_monotone(self):
+        costs = [topdown_resources(n).cpu_cores for n in
+                 (1_000, 100_000, 1_000_000)]
+        assert costs == sorted(costs)
+
+
+class TestBottomUp:
+    def test_constant_controller_footprint(self):
+        for n in (1_000, 1_000_000, 10_000_000):
+            est = bottomup_resources(n)
+            assert est.cpu_cores == 1.0
+            assert est.memory_gb == 1.0
+
+    def test_two_shards_cover_a_million(self):
+        """§3.2: a million endpoints over a 10 s window fit 2 shards."""
+        est = bottomup_resources(1_000_000, spread_window_s=10.0)
+        assert est.database_shards <= 2
+
+    def test_shards_scale_linearly(self):
+        # 10M endpoints / 10 s / 80k qps per shard = 12.5 -> 13 shards.
+        assert required_shards(10_000_000) == 13
+        counts = [required_shards(n) for n in
+                  (1_000_000, 5_000_000, 10_000_000)]
+        assert counts == sorted(counts)
+
+    def test_shard_window_tradeoff(self):
+        tight = required_shards(5_000_000, spread_window_s=1.0)
+        loose = required_shards(5_000_000, spread_window_s=30.0)
+        assert tight > loose
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            required_shards(-1)
+        with pytest.raises(ValueError):
+            required_shards(10, spread_window_s=0.0)
+        with pytest.raises(ValueError):
+            topdown_resources(-5)

@@ -1,0 +1,144 @@
+"""Tests for the batched SSP solver and the packet-level replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BatchSSPInstance, MegaTEOptimizer, fast_ssp, solve_ssp_batch
+from repro.simulation import replay_assignment
+from repro.simulation.flowsim import simulate
+
+
+class TestBatchSSP:
+    def test_matches_per_instance_solves(self):
+        rng = np.random.default_rng(0)
+        instances = [
+            BatchSSPInstance(
+                values=rng.lognormal(0, 1, size=rng.integers(1, 60)),
+                capacity=float(rng.uniform(0.5, 30.0)),
+            )
+            for _ in range(40)
+        ]
+        batch = solve_ssp_batch(instances)
+        for inst, result in zip(instances, batch):
+            single = fast_ssp(inst.values, inst.capacity)
+            assert result.selected == single.selected
+            assert result.total == pytest.approx(single.total)
+
+    def test_fast_paths(self):
+        results = solve_ssp_batch(
+            [
+                BatchSSPInstance(values=np.array([]), capacity=5.0),
+                BatchSSPInstance(values=np.array([1.0]), capacity=0.0),
+                BatchSSPInstance(
+                    values=np.array([1.0, 2.0]), capacity=100.0
+                ),
+            ]
+        )
+        assert results[0].total == 0.0
+        assert results[1].total == 0.0
+        assert results[2].selected == (0, 1)
+
+    def test_empty_batch(self):
+        assert solve_ssp_batch([]) == []
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.lists(
+                    st.floats(0.01, 20.0, allow_nan=False),
+                    min_size=0,
+                    max_size=25,
+                ),
+                st.floats(0.0, 60.0),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, data):
+        instances = [
+            BatchSSPInstance(
+                values=np.array(values, dtype=np.float64),
+                capacity=capacity,
+            )
+            for values, capacity in data
+        ]
+        batch = solve_ssp_batch(instances)
+        for inst, result in zip(instances, batch):
+            single = fast_ssp(
+                np.asarray(inst.values, dtype=np.float64), inst.capacity
+            )
+            assert result.selected == single.selected
+            assert result.total == pytest.approx(single.total)
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        from repro.experiments.common import build_scenario
+
+        scenario = build_scenario(
+            "b4",
+            total_endpoints=250,
+            num_site_pairs=6,
+            target_load=1.0,
+            seed=3,
+        )
+        result = MegaTEOptimizer().solve(
+            scenario.topology, scenario.demands
+        )
+        return scenario, result
+
+    def test_all_assigned_flows_delivered(self, solved):
+        scenario, result = solved
+        report = replay_assignment(scenario.topology, result)
+        assert report.flows_sent == result.assignment.num_assigned()
+        assert report.flows_delivered == report.flows_sent
+        assert report.drop_reasons == {}
+
+    def test_perfect_path_fidelity(self, solved):
+        """Every packet rides exactly the tunnel the optimizer chose."""
+        scenario, result = solved
+        report = replay_assignment(scenario.topology, result)
+        assert report.path_fidelity == 1.0
+
+    def test_latency_consistent_with_flow_level(self, solved):
+        """Packet-level latency falls inside the tunnel latency range."""
+        scenario, result = solved
+        report = replay_assignment(scenario.topology, result)
+        weights = [
+            t.weight
+            for k in range(scenario.topology.catalog.num_pairs)
+            for t in scenario.topology.catalog.tunnels(k)
+        ]
+        assert min(weights) <= report.mean_latency_ms <= max(weights)
+
+    def test_flow_level_simulator_agrees(self, solved):
+        """Flow-level delivered volume ~= packet-level delivery rate."""
+        scenario, result = solved
+        outcome = simulate(scenario.topology, result)
+        report = replay_assignment(scenario.topology, result)
+        # MegaTE never overloads links, so both views deliver everything.
+        assert outcome.delivered_volume == pytest.approx(
+            outcome.offered_volume
+        )
+        assert report.packets_delivered == report.packets_sent
+
+    def test_flow_cap(self, solved):
+        scenario, result = solved
+        with pytest.raises(ValueError, match="capped"):
+            replay_assignment(scenario.topology, result, max_flows=1)
+
+    def test_requires_endpoint_ids(self, tiny_topology):
+        from repro.traffic import DemandMatrix
+
+        from conftest import make_pair_demands
+
+        demands = DemandMatrix([make_pair_demands([1.0])])
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        with pytest.raises(ValueError, match="endpoint ids"):
+            replay_assignment(tiny_topology, result)

@@ -1,0 +1,179 @@
+"""Unit + property tests for FastSSP (paper §4.2 / Appendix A.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fastssp import FastSSPResult, fast_ssp
+from repro.core.ssp import brute_force_ssp
+
+
+class TestEdgeCases:
+    def test_empty_values(self):
+        result = fast_ssp(np.array([]), 10.0)
+        assert result.selected == ()
+        assert result.total == 0.0
+
+    def test_zero_capacity(self):
+        result = fast_ssp(np.array([1.0, 2.0]), 0.0)
+        assert result.total == 0.0
+        assert result.capacity == 0.0
+
+    def test_negative_capacity_clamped(self):
+        result = fast_ssp(np.array([1.0]), -3.0)
+        assert result.total == 0.0
+        assert result.capacity == 0.0
+
+    def test_everything_fits_fast_path(self):
+        values = np.array([1.0, 2.0, 3.0])
+        result = fast_ssp(values, 100.0)
+        assert result.selected == (0, 1, 2)
+        assert result.total == pytest.approx(6.0)
+        assert result.error_bound == 0.0
+
+    def test_single_oversized_item_rejected(self):
+        result = fast_ssp(np.array([50.0, 1.0]), 10.0)
+        assert 0 not in result.selected
+        assert result.total == pytest.approx(1.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            fast_ssp(np.array([1.0]), 1.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            fast_ssp(np.array([1.0]), 1.0, epsilon=1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            fast_ssp(np.array([-1.0]), 1.0)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            fast_ssp(np.ones((2, 2)), 1.0)
+
+
+class TestCorrectness:
+    def test_never_exceeds_capacity(self):
+        rng = np.random.default_rng(1)
+        for trial in range(20):
+            values = rng.lognormal(0, 1, size=200)
+            capacity = float(values.sum()) * rng.uniform(0.2, 0.9)
+            result = fast_ssp(values, capacity)
+            assert result.total <= capacity + 1e-9
+
+    def test_selected_indices_unique_and_valid(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0.1, 3.0, size=100)
+        result = fast_ssp(values, float(values.sum()) * 0.5)
+        assert len(set(result.selected)) == len(result.selected)
+        assert all(0 <= i < 100 for i in result.selected)
+
+    def test_total_matches_selection(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.1, 3.0, size=150)
+        result = fast_ssp(values, float(values.sum()) * 0.6)
+        assert result.total == pytest.approx(
+            float(values[list(result.selected)].sum())
+        )
+        assert result.total == pytest.approx(
+            result.dp_selected_volume + result.greedy_selected_volume
+        )
+
+    def test_error_bound_definition(self):
+        """β ≤ min(residual)/F: the gap is below the smallest leftover."""
+        rng = np.random.default_rng(4)
+        values = rng.lognormal(0, 1.2, size=300)
+        capacity = float(values.sum()) * 0.5
+        result = fast_ssp(values, capacity)
+        unselected = np.setdiff1d(
+            np.arange(values.size), np.array(result.selected, dtype=int)
+        )
+        if unselected.size:
+            expected = float(values[unselected].min()) / capacity
+            assert result.error_bound == pytest.approx(expected)
+            gap = (capacity - result.total) / capacity
+            assert gap <= result.error_bound + 1e-9
+
+    def test_near_optimal_on_small_instances(self):
+        """Within the error bound of the brute-force optimum."""
+        rng = np.random.default_rng(5)
+        for trial in range(10):
+            values = rng.uniform(0.5, 4.0, size=14)
+            capacity = float(values.sum()) * rng.uniform(0.3, 0.8)
+            fast = fast_ssp(values, capacity, epsilon=0.05)
+            brute = brute_force_ssp(values, capacity)
+            gap = (brute.total - fast.total) / capacity
+            assert gap <= fast.error_bound + 1e-9
+
+    def test_smaller_epsilon_not_worse_on_average(self):
+        rng = np.random.default_rng(6)
+        coarse_fills, fine_fills = [], []
+        for trial in range(15):
+            values = rng.lognormal(0, 1, size=250)
+            capacity = float(values.sum()) * 0.5
+            coarse_fills.append(fast_ssp(values, capacity, epsilon=0.5).total)
+            fine_fills.append(fast_ssp(values, capacity, epsilon=0.05).total)
+        assert np.mean(fine_fills) >= np.mean(coarse_fills) - 1e-6
+
+    def test_high_utilization_in_trace_regime(self):
+        """Many small demands: FastSSP fills ≥ 99% of capacity."""
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(-2, 1, size=2000)
+        capacity = float(values.sum()) * 0.6
+        result = fast_ssp(values, capacity)
+        assert result.utilization >= 0.99
+
+    def test_cluster_count_bounded(self):
+        """m ≈ 3/ε' clusters plus the residual tail (complexity claim)."""
+        rng = np.random.default_rng(8)
+        values = rng.lognormal(-2, 1, size=5000)
+        capacity = float(values.sum()) * 0.5
+        result = fast_ssp(values, capacity, epsilon=0.1)
+        # Clusters cover all eligible demand at threshold ε'F/3, so
+        # m <= total/(ε'F/3) + 1 = 3·total/(ε'F) + 1 = 60 + 1 here.
+        assert result.num_clusters <= 61
+
+
+class TestProperties:
+    @given(
+        values=st.lists(
+            st.floats(0.01, 50.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        frac=st.floats(0.05, 1.5),
+        epsilon=st.sampled_from([0.05, 0.1, 0.3]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, values, frac, epsilon):
+        arr = np.array(values, dtype=np.float64)
+        capacity = float(arr.sum()) * frac
+        result = fast_ssp(arr, capacity, epsilon=epsilon)
+        # Feasibility.
+        assert result.total <= capacity + 1e-6
+        # Selection consistency.
+        assert result.total == pytest.approx(
+            float(arr[list(result.selected)].sum()), rel=1e-9, abs=1e-9
+        )
+        # Error bound holds a-posteriori.
+        gap = capacity - result.total
+        if result.error_bound == 0.0:
+            unselected = set(range(arr.size)) - set(result.selected)
+            fitting = [i for i in unselected if arr[i] <= capacity]
+            assert not fitting or capacity <= 0
+        else:
+            assert gap / capacity <= result.error_bound + 1e-9
+
+
+def test_result_utilization_zero_capacity():
+    result = FastSSPResult(
+        selected=(),
+        total=0.0,
+        capacity=0.0,
+        num_clusters=0,
+        dp_selected_volume=0.0,
+        greedy_selected_volume=0.0,
+        error_bound=0.0,
+    )
+    assert result.utilization == 0.0

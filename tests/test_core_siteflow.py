@@ -1,0 +1,120 @@
+"""Tests for the MaxSiteFlow LP and the concurrent-flow calibrator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import MaxAllFlowProblem
+from repro.core.siteflow import max_concurrent_scale, solve_max_site_flow
+from repro.traffic import DemandMatrix
+
+from conftest import make_pair_demands
+
+
+def _problem(tiny_topology, volumes=(6.0, 6.0)):
+    demands = DemandMatrix([make_pair_demands(list(volumes))])
+    return MaxAllFlowProblem(tiny_topology, demands), demands
+
+
+class TestMaxSiteFlow:
+    def test_allocation_within_demand(self, tiny_topology):
+        problem, demands = _problem(tiny_topology, volumes=(3.0, 2.0))
+        alloc = solve_max_site_flow(problem, demands.site_demands())
+        assert alloc.total <= 5.0 + 1e-6
+
+    def test_allocation_within_capacity(self, tiny_topology):
+        # 30 demanded, 20 available over the two disjoint paths.
+        problem, demands = _problem(tiny_topology, volumes=(15.0, 15.0))
+        alloc = solve_max_site_flow(problem, demands.site_demands())
+        assert alloc.total == pytest.approx(20.0, rel=1e-6)
+
+    def test_prefers_short_tunnel(self, tiny_topology):
+        """ε·w steers slack allocations onto the 5 ms tunnel."""
+        problem, demands = _problem(tiny_topology, volumes=(4.0, 4.0))
+        alloc = solve_max_site_flow(problem, demands.site_demands())
+        per_tunnel = alloc.per_pair[0]
+        assert per_tunnel[0] == pytest.approx(8.0, rel=1e-6)
+        assert per_tunnel[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_respects_residual_capacities(self, tiny_topology):
+        problem, demands = _problem(tiny_topology, volumes=(30.0,))
+        half = problem.capacities * 0.5
+        alloc = solve_max_site_flow(
+            problem, demands.site_demands(), capacities=half
+        )
+        assert alloc.total == pytest.approx(10.0, rel=1e-6)
+
+    def test_zero_demand(self, tiny_topology):
+        problem, demands = _problem(tiny_topology, volumes=(0.0,))
+        alloc = solve_max_site_flow(problem, demands.site_demands())
+        assert alloc.total == pytest.approx(0.0, abs=1e-9)
+
+    def test_wrong_demand_shape_rejected(self, tiny_topology):
+        problem, _ = _problem(tiny_topology)
+        with pytest.raises(ValueError):
+            solve_max_site_flow(problem, np.zeros(5))
+
+    def test_negative_demand_rejected(self, tiny_topology):
+        problem, _ = _problem(tiny_topology)
+        with pytest.raises(ValueError):
+            solve_max_site_flow(problem, np.array([-1.0]))
+
+    def test_weight_override_changes_preference(self, tiny_topology):
+        """Cost-based weights steer to the tunnel cheaper by cost."""
+        problem, demands = _problem(tiny_topology, volumes=(4.0,))
+        # Invert preference: make the short tunnel "expensive".
+        override = np.array([10.0, 1.0])
+        alloc = solve_max_site_flow(
+            problem, demands.site_demands(), tunnel_weights=override
+        )
+        per_tunnel = alloc.per_pair[0]
+        assert per_tunnel[1] == pytest.approx(4.0, rel=1e-6)
+
+    def test_bad_weight_shape_rejected(self, tiny_topology):
+        problem, demands = _problem(tiny_topology)
+        with pytest.raises(ValueError):
+            solve_max_site_flow(
+                problem,
+                demands.site_demands(),
+                tunnel_weights=np.ones(7),
+            )
+
+    def test_b4_full_feasibility(self, b4_topology, b4_demands):
+        problem = MaxAllFlowProblem(b4_topology, b4_demands)
+        alloc = solve_max_site_flow(problem, b4_demands.site_demands())
+        # Recompute link loads and verify no overload.
+        loads = {link.key: 0.0 for link in b4_topology.network.links}
+        for k in range(b4_topology.catalog.num_pairs):
+            for t, tunnel in enumerate(b4_topology.catalog.tunnels(k)):
+                for key in tunnel.links:
+                    loads[key] += alloc.per_pair[k][t]
+        for link in b4_topology.network.links:
+            assert loads[link.key] <= link.capacity * (1 + 1e-6)
+
+
+class TestMaxConcurrentScale:
+    def test_exact_on_tiny(self, tiny_topology):
+        problem, demands = _problem(tiny_topology, volumes=(10.0,))
+        alpha = max_concurrent_scale(problem, demands.site_demands())
+        # 20 Gbps over both paths vs 10 demanded -> alpha = 2.
+        assert alpha == pytest.approx(2.0, rel=1e-6)
+
+    def test_no_demand_returns_inf(self, tiny_topology):
+        problem, demands = _problem(tiny_topology, volumes=(0.0,))
+        alpha = max_concurrent_scale(problem, demands.site_demands())
+        assert alpha == float("inf")
+
+    def test_scaled_demand_is_satisfiable(self, b4_topology, b4_demands):
+        problem = MaxAllFlowProblem(b4_topology, b4_demands)
+        site_demands = b4_demands.site_demands()
+        alpha = max_concurrent_scale(problem, site_demands)
+        alloc = solve_max_site_flow(problem, site_demands * alpha)
+        assert alloc.total == pytest.approx(
+            float(site_demands.sum()) * alpha, rel=1e-4
+        )
+
+    def test_wrong_shape_rejected(self, tiny_topology):
+        problem, _ = _problem(tiny_topology)
+        with pytest.raises(ValueError):
+            max_concurrent_scale(problem, np.zeros(3))

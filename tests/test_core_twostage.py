@@ -1,0 +1,178 @@
+"""Tests for the MegaTE two-stage optimizer (Algorithm 1 + QoS loop)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MegaTEOptimizer,
+    QoSClass,
+    check_feasibility,
+    solve_max_all_flow,
+)
+from repro.core.formulation import MaxAllFlowProblem
+from repro.traffic import DemandMatrix
+
+from conftest import make_pair_demands
+
+
+class TestBasics:
+    def test_feasible_on_b4(self, b4_topology, b4_demands):
+        result = MegaTEOptimizer().solve(b4_topology, b4_demands)
+        report = check_feasibility(b4_topology, result)
+        assert report.feasible, report.violations[:3]
+
+    def test_one_tunnel_per_flow(self, b4_topology, b4_demands):
+        result = MegaTEOptimizer().solve(b4_topology, b4_demands)
+        for arr in result.assignment.per_pair:
+            assert arr.ndim == 1  # integral: one tunnel index per flow
+
+    def test_satisfied_volume_consistent(self, b4_topology, b4_demands):
+        result = MegaTEOptimizer().solve(b4_topology, b4_demands)
+        recomputed = 0.0
+        for k, pair in enumerate(b4_demands):
+            assigned = result.assignment.per_pair[k]
+            recomputed += float(pair.volumes[assigned >= 0].sum())
+        assert result.satisfied_volume == pytest.approx(recomputed)
+
+    def test_accepts_everything_under_light_load(self, tiny_topology):
+        demands = DemandMatrix(
+            [make_pair_demands([1.0, 1.0, 1.0], qos=[1, 2, 3])]
+        )
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        assert result.satisfied_fraction == pytest.approx(1.0)
+
+    def test_near_optimal_vs_milp(self, tiny_topology):
+        rng = np.random.default_rng(9)
+        demands = DemandMatrix(
+            [make_pair_demands(rng.uniform(0.2, 1.0, size=40).tolist())]
+        )
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        problem = MaxAllFlowProblem(tiny_topology, demands)
+        optimal = solve_max_all_flow(problem, relaxed=False)
+        assert result.satisfied_volume >= 0.97 * optimal.satisfied_volume
+
+    def test_runtime_recorded(self, tiny_topology, tiny_demands):
+        result = MegaTEOptimizer().solve(tiny_topology, tiny_demands)
+        assert result.runtime_s > 0
+        assert result.stats["stage1_lp_s"] >= 0
+        assert result.stats["stage2_ssp_s"] >= 0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            MegaTEOptimizer(fastssp_epsilon=0.0)
+
+
+class TestQoSPriority:
+    def test_class1_served_first_under_pressure(self, tiny_topology):
+        """24 Gbps offered, 20 available: the shortfall lands on class 3."""
+        volumes = [0.2] * 120  # 24 Gbps in small flows (the paper regime)
+        qos = [1] * 40 + [2] * 40 + [3] * 40
+        demands = DemandMatrix([make_pair_demands(volumes, qos=qos)])
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        by_class = result.stats["satisfied_by_class"]
+        assert by_class.get(1, 0.0) == pytest.approx(8.0, abs=0.3)
+        assert by_class.get(2, 0.0) == pytest.approx(8.0, abs=0.3)
+        assert by_class.get(3, 0.0) == pytest.approx(4.0, abs=0.5)
+
+    def test_class1_rides_shortest_tunnel(self, tiny_topology):
+        demands = DemandMatrix(
+            [
+                make_pair_demands(
+                    [6.0, 6.0, 6.0],
+                    qos=[1, 2, 2],
+                )
+            ]
+        )
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        pair = demands.pair(0)
+        assigned = result.assignment.per_pair[0]
+        class1_tunnels = assigned[pair.qos == 1]
+        # Tunnel 0 is the 5 ms path.
+        assert (class1_tunnels == 0).all()
+
+    def test_qos_order_override(self, tiny_topology):
+        """Reversing priority makes class 3 win the contested capacity."""
+        demands = DemandMatrix(
+            [make_pair_demands([8.0, 8.0, 8.0], qos=[1, 2, 3])]
+        )
+        reversed_order = (QoSClass.CLASS3, QoSClass.CLASS2, QoSClass.CLASS1)
+        result = MegaTEOptimizer(qos_order=reversed_order).solve(
+            tiny_topology, demands
+        )
+        by_class = result.stats["satisfied_by_class"]
+        assert by_class.get(3, 0.0) == pytest.approx(8.0)
+        assert by_class.get(1, 0.0) == pytest.approx(0.0)
+
+    def test_class3_prefers_cheap_tunnel(self):
+        """Bulk traffic steers by cost when a cheaper tunnel exists."""
+        from repro.topology import SiteNetwork, build_tunnels
+        from repro.topology.contraction import TwoLayerTopology
+        from repro.topology.endpoints import EndpointLayout
+        from repro.topology.graph import Link
+
+        net = SiteNetwork(name="costy")
+        # Fast expensive path, slow cheap path.
+        net.add_duplex_link(
+            "a", "b", capacity=10.0, latency_ms=5.0, cost_per_gbps=5.0
+        )
+        net.add_duplex_link(
+            "a", "r", capacity=10.0, latency_ms=20.0, cost_per_gbps=0.5
+        )
+        net.add_duplex_link(
+            "r", "b", capacity=10.0, latency_ms=20.0, cost_per_gbps=0.5
+        )
+        catalog = build_tunnels(net, [("a", "b")], tunnels_per_pair=2)
+        topo = TwoLayerTopology(
+            network=net,
+            catalog=catalog,
+            layout=EndpointLayout({"a": 2, "b": 2, "r": 0}),
+        )
+        demands = DemandMatrix(
+            [make_pair_demands([2.0, 2.0], qos=[1, 3])]
+        )
+        result = MegaTEOptimizer().solve(topo, demands)
+        pair = demands.pair(0)
+        assigned = result.assignment.per_pair[0]
+        tunnels = catalog.tunnels(0)
+        class1_tunnel = tunnels[int(assigned[pair.qos == 1][0])]
+        class3_tunnel = tunnels[int(assigned[pair.qos == 3][0])]
+        assert class1_tunnel.weight < class3_tunnel.weight
+        assert class3_tunnel.cost_per_gbps < class1_tunnel.cost_per_gbps
+
+
+class TestResidualCapacity:
+    def test_no_link_oversubscribed_across_classes(
+        self, b4_topology, b4_demands
+    ):
+        result = MegaTEOptimizer().solve(b4_topology, b4_demands)
+        report = check_feasibility(b4_topology, result)
+        assert report.max_overload <= 1.0 + 1e-6
+
+    def test_empty_class_skipped(self, tiny_topology):
+        demands = DemandMatrix(
+            [make_pair_demands([1.0, 1.0], qos=[2, 2])]
+        )
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        by_class = result.stats["satisfied_by_class"]
+        assert 1 not in by_class
+        assert 3 not in by_class
+
+
+class TestScaling:
+    def test_megate_outruns_lp_all_at_scale(self, b4_topology):
+        """The MegaTE headline: endpoint count barely moves its runtime,
+        while the endpoint-granular LP pays per flow."""
+        from repro.baselines import LPAllTE
+
+        rng = np.random.default_rng(0)
+        demands = DemandMatrix(
+            [
+                make_pair_demands(rng.lognormal(-3, 1, size=3000).tolist())
+                for _ in range(b4_topology.catalog.num_pairs)
+            ]
+        )
+        megate = MegaTEOptimizer().solve(b4_topology, demands)
+        lp_all = LPAllTE().solve(b4_topology, demands)
+        assert megate.runtime_s < lp_all.runtime_s

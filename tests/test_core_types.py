@@ -1,0 +1,133 @@
+"""Tests for solution types and the feasibility checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FlowAssignment,
+    MegaTEOptimizer,
+    QoSClass,
+    SiteAllocation,
+    TEResult,
+    check_feasibility,
+)
+from repro.core.qos import PRIORITY_ORDER
+from repro.traffic import DemandMatrix
+
+from conftest import make_pair_demands
+
+
+class TestQoS:
+    def test_priority_order(self):
+        assert PRIORITY_ORDER == (
+            QoSClass.CLASS1,
+            QoSClass.CLASS2,
+            QoSClass.CLASS3,
+        )
+
+    def test_flags(self):
+        assert QoSClass.CLASS1.is_time_sensitive
+        assert not QoSClass.CLASS3.is_time_sensitive
+        assert QoSClass.CLASS3.is_bulk
+        assert not QoSClass.CLASS1.is_bulk
+
+
+class TestFlowAssignment:
+    def test_rejecting_all(self):
+        demands = DemandMatrix(
+            [make_pair_demands([1.0, 2.0]), make_pair_demands([3.0])]
+        )
+        assignment = FlowAssignment.rejecting_all(demands)
+        assert assignment.num_flows() == 3
+        assert assignment.num_assigned() == 0
+        assert assignment.tunnel_of(0, 1) == -1
+
+    def test_counts(self):
+        assignment = FlowAssignment(
+            per_pair=[np.array([0, -1, 2], dtype=np.int32)]
+        )
+        assert assignment.num_assigned() == 2
+        assert assignment.num_flows() == 3
+
+
+class TestSiteAllocation:
+    def test_total(self):
+        alloc = SiteAllocation(
+            per_pair=[np.array([1.0, 2.0]), np.array([3.0])]
+        )
+        assert alloc.total == pytest.approx(6.0)
+        assert alloc.allocation(0, 1) == 2.0
+
+
+class TestTEResult:
+    def test_satisfied_fraction(self):
+        demands = DemandMatrix([make_pair_demands([2.0, 2.0])])
+        result = TEResult(
+            scheme="x",
+            assignment=FlowAssignment.rejecting_all(demands),
+            demands=demands,
+            satisfied_volume=1.0,
+            runtime_s=0.1,
+        )
+        assert result.satisfied_fraction == pytest.approx(0.25)
+        assert result.total_volume == pytest.approx(4.0)
+
+    def test_empty_demand_fraction_is_one(self):
+        demands = DemandMatrix([])
+        result = TEResult(
+            scheme="x",
+            assignment=FlowAssignment(per_pair=[]),
+            demands=demands,
+            satisfied_volume=0.0,
+            runtime_s=0.0,
+        )
+        assert result.satisfied_fraction == 1.0
+
+
+class TestCheckFeasibility:
+    def test_valid_result_passes(self, tiny_topology, tiny_demands):
+        result = MegaTEOptimizer().solve(tiny_topology, tiny_demands)
+        report = check_feasibility(tiny_topology, result)
+        assert report.feasible
+        assert report.max_overload <= 1.0 + 1e-9
+        assert report.violations == ()
+
+    def test_overload_detected(self, tiny_topology, tiny_demands):
+        # Force every flow onto tunnel 0: 18 Gbps on a 10 Gbps path.
+        assignment = FlowAssignment(
+            per_pair=[np.zeros(6, dtype=np.int32)]
+        )
+        result = TEResult(
+            scheme="bogus",
+            assignment=assignment,
+            demands=tiny_demands,
+            satisfied_volume=18.0,
+            runtime_s=0.0,
+        )
+        report = check_feasibility(tiny_topology, result)
+        assert not report.feasible
+        assert report.max_overload > 1.0
+        assert any("exceeds capacity" in v for v in report.violations)
+
+    def test_bad_tunnel_index_detected(self, tiny_topology, tiny_demands):
+        assignment = FlowAssignment(
+            per_pair=[np.full(6, 9, dtype=np.int32)]
+        )
+        result = TEResult(
+            scheme="bogus",
+            assignment=assignment,
+            demands=tiny_demands,
+            satisfied_volume=0.0,
+            runtime_s=0.0,
+        )
+        report = check_feasibility(tiny_topology, result)
+        assert not report.feasible
+        assert any("out of range" in v for v in report.violations)
+
+    def test_link_loads_reported(self, tiny_topology, tiny_demands):
+        result = MegaTEOptimizer().solve(tiny_topology, tiny_demands)
+        report = check_feasibility(tiny_topology, result)
+        total_load = sum(report.link_loads.values())
+        assert total_load > 0

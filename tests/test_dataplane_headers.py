@@ -1,0 +1,115 @@
+"""Tests for the VXLAN and MegaTE SR headers (Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane.sr_header import MAX_HOPS, SiteIdCodec, SRHeader
+from repro.dataplane.vxlan import VXLAN_HEADER_LEN, VXLANHeader
+
+
+class TestVXLAN:
+    def test_roundtrip(self):
+        header = VXLANHeader(vni=0xABCDEF, has_sr_header=True)
+        decoded, rest = VXLANHeader.decode(header.encode() + b"z")
+        assert decoded == header
+        assert rest == b"z"
+        assert len(header.encode()) == VXLAN_HEADER_LEN
+
+    def test_sr_flag_in_reserved_field(self):
+        with_flag = VXLANHeader(vni=5, has_sr_header=True).encode()
+        without = VXLANHeader(vni=5, has_sr_header=False).encode()
+        assert with_flag != without
+        # VNI bytes identical; only the reserved field differs.
+        assert with_flag[4:] == without[4:]
+
+    def test_vni_range(self):
+        with pytest.raises(ValueError):
+            VXLANHeader(vni=1 << 24)
+
+    def test_missing_i_flag_rejected(self):
+        raw = bytearray(VXLANHeader(vni=5).encode())
+        raw[0] = 0
+        with pytest.raises(ValueError, match="I flag"):
+            VXLANHeader.decode(bytes(raw))
+
+    @given(vni=st.integers(0, (1 << 24) - 1), flag=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, vni, flag):
+        header = VXLANHeader(vni=vni, has_sr_header=flag)
+        decoded, _ = VXLANHeader.decode(header.encode())
+        assert decoded == header
+
+
+class TestSRHeader:
+    def test_roundtrip(self):
+        header = SRHeader(hops=(3, 1, 4, 1), offset=2)
+        decoded, rest = SRHeader.decode(header.encode() + b"!")
+        assert decoded == header
+        assert rest == b"!"
+
+    def test_fields(self):
+        header = SRHeader(hops=(7, 8, 9), offset=1)
+        assert header.hop_number == 3
+        assert header.current_hop == 8
+        assert not header.exhausted
+
+    def test_advance(self):
+        header = SRHeader(hops=(7, 8), offset=0)
+        step1 = header.advanced()
+        assert step1.offset == 1
+        step2 = step1.advanced()
+        assert step2.exhausted
+        with pytest.raises(IndexError):
+            step2.advanced()
+        with pytest.raises(IndexError):
+            _ = step2.current_hop
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRHeader(hops=())
+        with pytest.raises(ValueError):
+            SRHeader(hops=(1,), offset=5)
+        with pytest.raises(ValueError):
+            SRHeader(hops=tuple(range(MAX_HOPS + 1)))
+        with pytest.raises(ValueError):
+            SRHeader(hops=(1 << 33,))
+
+    def test_truncated(self):
+        encoded = SRHeader(hops=(1, 2, 3)).encode()
+        with pytest.raises(ValueError):
+            SRHeader.decode(encoded[:6])
+
+    @given(
+        hops=st.lists(
+            st.integers(0, (1 << 32) - 1), min_size=1, max_size=20
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, hops, data):
+        offset = data.draw(st.integers(0, len(hops)))
+        header = SRHeader(hops=tuple(hops), offset=offset)
+        decoded, rest = SRHeader.decode(header.encode())
+        assert decoded == header
+        assert rest == b""
+        assert header.encoded_length == len(header.encode())
+
+
+class TestSiteIdCodec:
+    def test_roundtrip(self):
+        codec = SiteIdCodec(["x", "y", "z"])
+        path = ("x", "z", "y")
+        assert codec.decode_path(codec.encode_path(path)) == path
+
+    def test_unknown_site(self):
+        codec = SiteIdCodec(["x"])
+        with pytest.raises(KeyError):
+            codec.id_of("y")
+        with pytest.raises(KeyError):
+            codec.name_of(5)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            SiteIdCodec(["x", "x"])

@@ -1,0 +1,163 @@
+"""Tests for the byte-level packet codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane.packet import (
+    ETH_HEADER_LEN,
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    FiveTuple,
+    IPV4_HEADER_LEN,
+    IPv4Header,
+    MacAddress,
+    PROTO_UDP,
+    UDPHeader,
+    ipv4_checksum,
+)
+
+ips = st.builds(
+    lambda a, b, c, d: f"{a}.{b}.{c}.{d}",
+    *(st.integers(0, 255) for _ in range(4)),
+)
+
+
+class TestMacAddress:
+    def test_from_string_roundtrip(self):
+        mac = MacAddress.from_string("02:00:00:aa:bb:cc")
+        assert str(mac) == "02:00:00:aa:bb:cc"
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00" * 5)
+        with pytest.raises(ValueError):
+            MacAddress.from_string("02:00:00")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader(
+            dst=MacAddress.from_string("02:00:00:00:00:02"),
+            src=MacAddress.from_string("02:00:00:00:00:01"),
+        )
+        decoded, rest = EthernetHeader.decode(header.encode() + b"xx")
+        assert decoded == header
+        assert rest == b"xx"
+        assert len(header.encode()) == ETH_HEADER_LEN
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.decode(b"\x00" * 5)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        header = IPv4Header(
+            src="10.0.0.1",
+            dst="192.168.1.77",
+            protocol=PROTO_UDP,
+            identification=4242,
+            ttl=17,
+            total_length=100,
+        )
+        decoded, rest = IPv4Header.decode(header.encode() + b"p")
+        assert decoded == header
+        assert rest == b"p"
+
+    def test_checksum_valid(self):
+        encoded = IPv4Header(src="1.2.3.4", dst="5.6.7.8").encode()
+        zeroed = encoded[:10] + b"\x00\x00" + encoded[12:]
+        stored = int.from_bytes(encoded[10:12], "big")
+        assert stored == ipv4_checksum(zeroed)
+
+    def test_corruption_detected(self):
+        encoded = bytearray(IPv4Header(src="1.2.3.4", dst="5.6.7.8").encode())
+        encoded[15] ^= 0xFF  # flip a source-address byte
+        with pytest.raises(ValueError, match="checksum"):
+            IPv4Header.decode(bytes(encoded))
+
+    def test_fragment_flags(self):
+        first = IPv4Header(
+            src="1.1.1.1",
+            dst="2.2.2.2",
+            flags_fragment=IPv4Header.MORE_FRAGMENTS,
+        )
+        assert first.is_fragment and first.is_first_fragment
+        middle = IPv4Header(
+            src="1.1.1.1",
+            dst="2.2.2.2",
+            flags_fragment=IPv4Header.MORE_FRAGMENTS | 10,
+        )
+        assert middle.is_fragment and not middle.is_first_fragment
+        assert middle.fragment_offset_bytes == 80
+        last = IPv4Header(src="1.1.1.1", dst="2.2.2.2", flags_fragment=20)
+        assert last.is_fragment and not last.more_fragments
+        whole = IPv4Header(src="1.1.1.1", dst="2.2.2.2")
+        assert not whole.is_fragment
+
+    def test_not_ipv4_rejected(self):
+        encoded = bytearray(IPv4Header(src="1.2.3.4", dst="5.6.7.8").encode())
+        encoded[0] = (6 << 4) | 5
+        with pytest.raises(ValueError):
+            IPv4Header.decode(bytes(encoded))
+
+    @given(
+        src=ips,
+        dst=ips,
+        ident=st.integers(0, 0xFFFF),
+        ttl=st.integers(1, 255),
+        frag=st.integers(0, 0x3FFF),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, src, dst, ident, ttl, frag):
+        header = IPv4Header(
+            src=src,
+            dst=dst,
+            identification=ident,
+            ttl=ttl,
+            flags_fragment=frag,
+            total_length=IPV4_HEADER_LEN,
+        )
+        decoded, _ = IPv4Header.decode(header.encode())
+        assert decoded == header
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        header = UDPHeader(src_port=5555, dst_port=4789, length=20)
+        decoded, rest = UDPHeader.decode(header.encode() + b"q")
+        assert decoded == header
+        assert rest == b"q"
+
+    @given(
+        sport=st.integers(0, 0xFFFF),
+        dport=st.integers(0, 0xFFFF),
+        length=st.integers(8, 0xFFFF),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, sport, dport, length):
+        header = UDPHeader(src_port=sport, dst_port=dport, length=length)
+        decoded, _ = UDPHeader.decode(header.encode())
+        assert decoded == header
+
+
+class TestFiveTuple:
+    def test_reversed(self):
+        flow = FiveTuple("1.1.1.1", "2.2.2.2", PROTO_UDP, 100, 200)
+        back = flow.reversed()
+        assert back.src_ip == "2.2.2.2"
+        assert back.src_port == 200
+        assert back.reversed() == flow
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            FiveTuple("1.1.1.1", "2.2.2.2", PROTO_UDP, -1, 80)
+        with pytest.raises(ValueError):
+            FiveTuple("1.1.1.1", "2.2.2.2", PROTO_UDP, 80, 70000)
+
+    def test_hashable(self):
+        a = FiveTuple("1.1.1.1", "2.2.2.2", PROTO_UDP, 1, 2)
+        b = FiveTuple("1.1.1.1", "2.2.2.2", PROTO_UDP, 1, 2)
+        assert len({a, b}) == 1

@@ -1,0 +1,177 @@
+"""Edge cases across the system: degenerate inputs the paper's production
+deployment would see (empty intervals, dead pairs, failure-shrunken
+tunnel sets, zero-capacity links)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ConventionalMCF, LPAllTE, NCFlowTE, TealTE
+from repro.core import (
+    MegaTEOptimizer,
+    check_feasibility,
+    fast_ssp,
+)
+from repro.simulation import compute_flow_latencies, simulate
+from repro.topology import (
+    SiteNetwork,
+    TwoLayerTopology,
+    build_tunnels,
+)
+from repro.topology.endpoints import EndpointLayout
+from repro.traffic import DemandMatrix, PairDemands
+
+from conftest import make_pair_demands
+
+
+@pytest.fixture()
+def dead_pair_topology():
+    """One site pair alive, one with no surviving tunnels (failure)."""
+    net = SiteNetwork(name="dead")
+    net.add_duplex_link("a", "b", 10.0, latency_ms=2.0)
+    net.add_duplex_link("c", "d", 10.0, latency_ms=2.0)
+    net.add_duplex_link("b", "c", 10.0, latency_ms=2.0)
+    catalog = build_tunnels(
+        net, [("a", "b"), ("a", "d")], tunnels_per_pair=2
+    )
+    survivor = net.without_links([("b", "c"), ("c", "b")])
+    return TwoLayerTopology(
+        network=survivor,
+        catalog=catalog.restricted_to_network(survivor),
+        layout=EndpointLayout({"a": 2, "b": 2, "c": 2, "d": 2}),
+    )
+
+
+class TestDegenerateDemands:
+    def test_empty_matrix(self, tiny_topology):
+        demands = DemandMatrix([PairDemands.empty()])
+        for solver in (
+            MegaTEOptimizer(),
+            LPAllTE(),
+            TealTE(),
+            ConventionalMCF(),
+        ):
+            result = solver.solve(tiny_topology, demands)
+            assert result.satisfied_volume == 0.0
+            assert result.satisfied_fraction == 1.0
+
+    def test_all_zero_volumes(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([0.0, 0.0])])
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        assert result.satisfied_volume == 0.0
+        assert check_feasibility(tiny_topology, result).feasible
+
+    def test_single_enormous_flow_rejected_cleanly(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1000.0])])
+        result = MegaTEOptimizer().solve(tiny_topology, demands)
+        assert result.assignment.tunnel_of(0, 0) == -1
+        assert result.satisfied_volume == 0.0
+
+
+class TestDeadPairs:
+    def test_megate_skips_dead_pair(self, dead_pair_topology):
+        demands = DemandMatrix(
+            [
+                make_pair_demands([1.0, 2.0]),
+                make_pair_demands([3.0]),  # pair (a,d) has no tunnels
+            ]
+        )
+        result = MegaTEOptimizer().solve(dead_pair_topology, demands)
+        assert (result.assignment.per_pair[1] == -1).all()
+        assert result.satisfied_volume == pytest.approx(3.0)
+        assert check_feasibility(dead_pair_topology, result).feasible
+
+    def test_baselines_survive_dead_pair(self, dead_pair_topology):
+        demands = DemandMatrix(
+            [make_pair_demands([1.0]), make_pair_demands([1.0])]
+        )
+        for solver in (LPAllTE(), NCFlowTE(), TealTE(), ConventionalMCF()):
+            result = solver.solve(dead_pair_topology, demands)
+            assert result.satisfied_volume <= 2.0 + 1e-9
+
+    def test_latency_skips_dead_pair(self, dead_pair_topology):
+        demands = DemandMatrix(
+            [make_pair_demands([1.0]), make_pair_demands([1.0])]
+        )
+        result = MegaTEOptimizer().solve(dead_pair_topology, demands)
+        latencies = compute_flow_latencies(dead_pair_topology, result)
+        assert latencies.latencies.size == 1
+
+    def test_simulate_skips_dead_pair(self, dead_pair_topology):
+        demands = DemandMatrix(
+            [make_pair_demands([1.0]), make_pair_demands([1.0])]
+        )
+        result = MegaTEOptimizer().solve(dead_pair_topology, demands)
+        outcome = simulate(dead_pair_topology, result)
+        assert outcome.delivered_volume == pytest.approx(1.0)
+
+
+class TestZeroCapacity:
+    def test_zero_capacity_link_unused(self):
+        net = SiteNetwork()
+        net.add_duplex_link("a", "b", 0.0, latency_ms=1.0)
+        net.add_duplex_link("a", "c", 10.0, latency_ms=5.0)
+        net.add_duplex_link("c", "b", 10.0, latency_ms=5.0)
+        catalog = build_tunnels(net, [("a", "b")], tunnels_per_pair=2)
+        topo = TwoLayerTopology(
+            network=net,
+            catalog=catalog,
+            layout=EndpointLayout({"a": 1, "b": 1, "c": 0}),
+        )
+        demands = DemandMatrix([make_pair_demands([2.0])])
+        result = MegaTEOptimizer().solve(topo, demands)
+        assigned = result.assignment.tunnel_of(0, 0)
+        # The zero-capacity direct path cannot carry the flow.
+        if assigned >= 0:
+            tunnel = catalog.tunnels(0)[assigned]
+            assert tunnel.path == ("a", "c", "b")
+        assert check_feasibility(topo, result).feasible
+
+
+class TestFastSSPBoundaries:
+    def test_capacity_exactly_one_item(self):
+        result = fast_ssp(np.array([5.0, 3.0]), 5.0)
+        assert result.total == pytest.approx(5.0)
+        assert result.selected == (0,)
+
+    def test_all_items_identical(self):
+        values = np.full(100, 1.0)
+        result = fast_ssp(values, 37.0)
+        assert result.total == pytest.approx(37.0)
+        assert len(result.selected) == 37
+
+    def test_single_item(self):
+        assert fast_ssp(np.array([2.0]), 3.0).selected == (0,)
+        assert fast_ssp(np.array([4.0]), 3.0).selected == ()
+
+    def test_tiny_epsilon(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.5, 1.5, size=50)
+        result = fast_ssp(values, float(values.sum()) * 0.5,
+                          epsilon=0.001)
+        assert result.total <= float(values.sum()) * 0.5 + 1e-9
+
+
+class TestSchemeInterfaceContract:
+    """Every scheme honours the shared solve() contract."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [MegaTEOptimizer, LPAllTE, NCFlowTE, TealTE, ConventionalMCF],
+    )
+    def test_contract(self, factory, tiny_topology, tiny_demands):
+        solver = factory()
+        assert isinstance(solver.scheme_name, str)
+        result = solver.solve(tiny_topology, tiny_demands)
+        assert result.scheme == solver.scheme_name
+        assert result.runtime_s >= 0
+        assert 0 <= result.satisfied_fraction <= 1 + 1e-9
+        assert len(result.assignment.per_pair) == (
+            tiny_demands.num_site_pairs
+        )
+        for k, pair in enumerate(tiny_demands):
+            arr = result.assignment.per_pair[k]
+            assert arr.size == pair.num_pairs
+            n_tunnels = len(tiny_topology.catalog.tunnels(k))
+            assert (arr >= -1).all() and (arr < n_tunnels).all()

@@ -1,0 +1,277 @@
+"""Tests for the per-figure experiment harnesses (fast configurations)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_ENDPOINTS,
+    build_scenario,
+    database_study,
+    fastssp_study,
+    fig02,
+    fig08,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    run_scale_sweep,
+    table02,
+)
+from repro.experiments.production import build_production_scenario
+
+
+@pytest.fixture(scope="module")
+def production():
+    return build_production_scenario(seed=0)
+
+
+class TestFig02:
+    def test_hash_te_is_bimodal(self):
+        result = fig02.run(num_epochs=96)
+        assert result.pair4_modes == [20.0, 42.0]
+
+    def test_megate_pins_latency(self):
+        result = fig02.run(num_epochs=48)
+        # Watched pairs under MegaTE each hold one stable latency.
+        assert all(not math.isnan(v) for v in result.megate_latencies)
+        # Time-sensitive pairs (1 and 4) ride the 20 ms path.
+        assert result.megate_latencies[0] == pytest.approx(20.0)
+        assert result.megate_latencies[3] == pytest.approx(20.0)
+
+    def test_box_stats_ordered(self):
+        result = fig02.run(num_epochs=48)
+        for lo, q1, med, q3, hi in result.pair_latency_stats:
+            assert lo <= q1 <= med <= q3 <= hi
+
+
+class TestFig08:
+    def test_weibull_fit_close(self):
+        result = fig08.run(num_sites=400, seed=1)
+        assert result.fitted_model.shape == pytest.approx(0.6, rel=0.3)
+        assert result.ks_statistic < 0.12
+
+    def test_counts_span_orders_of_magnitude(self):
+        result = fig08.run(seed=2)
+        assert result.spread_orders_of_magnitude > 2.0
+
+    def test_cdfs_monotone(self):
+        result = fig08.run()
+        assert (np.diff(result.empirical_cdf) >= 0).all()
+        assert (np.diff(result.fitted_cdf) >= -1e-12).all()
+
+
+class TestTable02:
+    def test_rows_match_paper_sites(self):
+        rows = {r.name: r for r in table02.run(scale=0.001)}
+        assert rows["B4"].sites == 12
+        assert rows["Deltacom"].sites == 113
+        assert rows["Cogentco"].sites == 197
+        assert 100 <= rows["TWAN"].sites <= 150
+
+    def test_scale_factor(self):
+        for row in table02.run(scale=0.001):
+            assert row.endpoints_built == pytest.approx(
+                row.endpoints_paper * 0.001, rel=0.25
+            )
+            assert row.endpoints_paper == PAPER_ENDPOINTS[row.name]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            table02.run(scale=0.0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return run_scale_sweep(
+            "deltacom",
+            [1130, 2260],
+            num_site_pairs=20,
+            target_load=1.15,
+            seed=0,
+        )
+
+    def test_all_schemes_ran(self, records):
+        schemes = {r.scheme for r in records}
+        assert schemes == {"LP-all", "NCFlow", "TEAL", "MegaTE"}
+
+    def test_fig10_ordering(self, records):
+        """LP-all >= MegaTE and MegaTE competitive with baselines."""
+        by_scheme = {
+            (r.scheme, r.num_endpoints): r
+            for r in records
+            if r.status == "ok"
+        }
+        for (scheme, n), record in by_scheme.items():
+            lp = by_scheme.get(("LP-all", n))
+            if lp:
+                assert record.satisfied <= lp.satisfied + 1e-6
+        megate = [r for r in records if r.scheme == "MegaTE"]
+        assert all(r.satisfied > 0.85 for r in megate)
+
+    def test_fig09_megate_runtime_flat(self):
+        records = run_scale_sweep(
+            "b4",
+            [300, 3000],
+            num_site_pairs=20,
+            target_load=1.15,
+            seed=1,
+        )
+        megate = sorted(
+            (r for r in records if r.scheme == "MegaTE"),
+            key=lambda r: r.num_endpoints,
+        )
+        lp = sorted(
+            (r for r in records if r.scheme == "LP-all"),
+            key=lambda r: r.num_endpoints,
+        )
+        # LP cost grows faster with flows than MegaTE's.
+        lp_growth = lp[-1].runtime_s / max(lp[0].runtime_s, 1e-9)
+        megate_growth = megate[-1].runtime_s / max(
+            megate[0].runtime_s, 1e-9
+        )
+        assert megate_growth < lp_growth
+
+
+class TestFig11:
+    def test_megate_lowest_qos1_latency(self):
+        result = fig11.run(
+            num_endpoints=1130, num_site_pairs=20, seed=0
+        )
+        megate = result.qos1_latency["MegaTE"]
+        for scheme, latency in result.qos1_latency.items():
+            if scheme != "MegaTE" and not math.isnan(latency):
+                assert megate <= latency + 1e-9
+        for scheme, reduction in result.reduction_vs.items():
+            if not math.isnan(reduction):
+                assert reduction >= -1e-9
+
+
+class TestFig12:
+    def test_megate_beats_ncflow_under_failures(self):
+        records = fig12.run(
+            endpoint_scales=[1130],
+            failure_counts=[2],
+            schemes=["NCFlow", "MegaTE"],
+            scenarios_per_point=2,
+            seed=0,
+        )
+        by_scheme = {r.scheme: r for r in records}
+        assert (
+            by_scheme["MegaTE"].effective_satisfied
+            >= by_scheme["NCFlow"].effective_satisfied - 1e-9
+        )
+
+    def test_recompute_window_bounded(self):
+        records = fig12.run(
+            endpoint_scales=[500],
+            failure_counts=[2],
+            schemes=["MegaTE"],
+            scenarios_per_point=1,
+            seed=1,
+        )
+        assert records[0].recompute_seconds <= 300.0
+
+
+class TestFig13Fig14:
+    def test_fig13_calibration(self):
+        rows = fig13.run()
+        last = rows[-1]
+        assert last.connections == 6000
+        assert last.cpu_percent == pytest.approx(90.0)
+        assert last.memory_mb == pytest.approx(750.0)
+
+    def test_fig14_endpoints_sweep(self):
+        rows = fig14.run()
+        million = [r for r in rows if r.endpoints == 1_000_000][0]
+        assert million.topdown_cores > 150
+        assert million.bottomup_cores == 1.0
+        assert million.database_shards <= 2
+
+
+class TestProductionFigures:
+    def test_fig15_all_apps_improve(self, production):
+        rows = fig15.run(production=production)
+        assert len(rows) == 5
+        assert all(r.reduction > 0 for r in rows)
+        assert max(r.reduction for r in rows) > 0.1
+
+    def test_fig16_rollout_restores_slo(self, production):
+        rows = fig16.run(
+            num_months=4, rollout_month=2, production=production
+        )
+        before = [r for r in rows if r.scheme == "Conventional-MCF"]
+        after = [r for r in rows if r.scheme == "MegaTE"]
+        assert before and after
+        # After rollout App 6 clears 99.99%; before it does not.
+        assert all(r.app6_availability >= 0.9999 for r in after)
+        assert any(r.app6_availability < 0.9999 for r in before)
+        # App 7 rides lower-availability paths after rollout.
+        assert np.mean([r.app7_availability for r in after]) < np.mean(
+            [r.app7_availability for r in before]
+        )
+
+    def test_fig17_bulk_cost_drops(self, production):
+        rows = {r.app_id: r for r in fig17.run(production=production)}
+        assert rows[9].reduction > 0.15  # bulk transfer much cheaper
+        assert rows[9].reduction > rows[8].reduction
+
+    def test_invalid_rollout_month(self, production):
+        with pytest.raises(ValueError):
+            fig16.run(num_months=3, rollout_month=5, production=production)
+
+
+class TestDatabaseStudy:
+    def test_two_shards_absorb_spread_fleet(self):
+        result = database_study.run(
+            num_endpoints=200_000, spread_window_s=10.0, num_shards=2
+        )
+        assert result.rejected == 0
+        assert result.peak_shard_qps <= 80_000
+
+    def test_shard_requirements_monotone(self):
+        reqs = database_study.shard_requirements()
+        shards = [s for _, s in reqs]
+        assert shards == sorted(shards)
+        assert dict(reqs)[1_000_000] <= 2  # the paper's deployment point
+
+
+class TestFastSSPStudy:
+    def test_bound_always_holds(self):
+        rows = fastssp_study.run(num_instances=8, num_items=200, seed=1)
+        assert all(r.bound_holds for r in rows)
+
+    def test_fastssp_beats_greedy_on_average(self):
+        rows = fastssp_study.run(num_instances=10, num_items=300, seed=2)
+        fast = np.mean([r.fastssp_fill for r in rows])
+        greedy = np.mean([r.greedy_fill for r in rows])
+        assert fast >= greedy - 1e-4
+
+
+class TestBuildScenario:
+    def test_endpoint_scaling_grows_flows(self):
+        small = build_scenario(
+            "b4", total_endpoints=200, num_site_pairs=10, seed=0
+        )
+        large = build_scenario(
+            "b4", total_endpoints=2000, num_site_pairs=10, seed=0
+        )
+        assert large.num_flows > small.num_flows * 3
+
+    def test_twan_eco_sites_excluded(self):
+        scenario = build_scenario(
+            "twan", total_endpoints=500, num_site_pairs=10, seed=0
+        )
+        for site in scenario.topology.network.sites:
+            if site.endswith("-eco"):
+                assert scenario.topology.layout.count(site) == 0
+        for src, dst in scenario.topology.catalog.pairs:
+            assert not src.endswith("-eco")
+            assert not dst.endswith("-eco")

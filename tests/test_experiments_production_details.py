@@ -1,0 +1,114 @@
+"""Detail tests for the §7 production scaffolding."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import MegaTEOptimizer, QoSClass
+from repro.experiments.production import (
+    APP_PROFILES,
+    ProductionScenario,
+    app_latency_ms,
+    app_metric,
+    build_production_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def small_production():
+    return build_production_scenario(
+        total_endpoints=1_200, num_site_pairs=15, seed=2
+    )
+
+
+class TestAppLabels:
+    def test_labels_respect_qos(self, small_production):
+        """Apps 1-6,8 are class-1 flows; 7 and 9 are class-3."""
+        qos1_apps = {1, 2, 3, 4, 5, 6, 8}
+        qos3_apps = {7, 9}
+        for pair, labels in zip(
+            small_production.scenario.demands,
+            small_production.app_labels,
+        ):
+            for app in np.unique(labels):
+                if app == 0:
+                    continue
+                mask = labels == app
+                classes = set(pair.qos[mask].tolist())
+                if app in qos1_apps:
+                    assert classes == {1}
+                elif app in qos3_apps:
+                    assert classes == {3}
+
+    def test_class2_unlabelled(self, small_production):
+        for pair, labels in zip(
+            small_production.scenario.demands,
+            small_production.app_labels,
+        ):
+            mask = pair.qos == 2
+            assert (labels[mask] == 0).all()
+
+    def test_every_profile_has_traffic(self, small_production):
+        present = set()
+        for labels in small_production.app_labels:
+            present.update(np.unique(labels).tolist())
+        for app_id in APP_PROFILES:
+            assert app_id in present
+
+    def test_profiles_consistent(self):
+        assert APP_PROFILES[5][1] is QoSClass.CLASS1
+        assert APP_PROFILES[9][1] is QoSClass.CLASS3
+
+
+class TestAppMetric:
+    def test_latency_between_tunnel_extremes(self, small_production):
+        result = MegaTEOptimizer().solve(
+            small_production.topology,
+            small_production.scenario.demands,
+        )
+        weights = [
+            t.weight
+            for k in range(small_production.topology.catalog.num_pairs)
+            for t in small_production.topology.catalog.tunnels(k)
+        ]
+        for app_id in (1, 9):
+            latency = app_latency_ms(small_production, result, app_id)
+            if not math.isnan(latency):
+                assert min(weights) <= latency <= max(weights)
+
+    def test_unknown_app_is_nan(self, small_production):
+        result = MegaTEOptimizer().solve(
+            small_production.topology,
+            small_production.scenario.demands,
+        )
+        assert math.isnan(
+            app_metric(small_production, result, 42, "weight")
+        )
+
+    def test_availability_counts_rejections(self, small_production):
+        """A result that rejects everything scores zero availability."""
+        from repro.core import FlowAssignment, TEResult
+
+        demands = small_production.scenario.demands
+        rejected = TEResult(
+            scheme="none",
+            assignment=FlowAssignment.rejecting_all(demands),
+            demands=demands,
+            satisfied_volume=0.0,
+            runtime_s=0.0,
+        )
+        value = app_metric(
+            small_production, rejected, 6, "availability"
+        )
+        assert value == pytest.approx(0.0)
+
+    def test_cost_metric_positive(self, small_production):
+        result = MegaTEOptimizer().solve(
+            small_production.topology,
+            small_production.scenario.demands,
+        )
+        cost = app_metric(small_production, result, 9, "cost_per_gbps")
+        assert cost > 0

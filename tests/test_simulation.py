@@ -1,0 +1,263 @@
+"""Tests for the flow-level simulator, latency, failures and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ConventionalMCF
+from repro.core import (
+    FlowAssignment,
+    MegaTEOptimizer,
+    QoSClass,
+    TEResult,
+)
+from repro.simulation import (
+    compute_flow_latencies,
+    cost_per_gbps,
+    measure_hash_latency,
+    run_failure_study,
+    simulate,
+    surviving_volume,
+    traffic_cost,
+    weighted_availability,
+)
+from repro.topology import sample_failure_scenarios
+from repro.traffic import DemandMatrix
+
+from conftest import make_pair_demands
+
+
+def _forced_result(demands, tunnel_index):
+    """All flows pinned to one tunnel index."""
+    assignment = FlowAssignment(
+        per_pair=[
+            np.full(p.num_pairs, tunnel_index, dtype=np.int32)
+            for p in demands
+        ]
+    )
+    satisfied = sum(float(p.volumes.sum()) for p in demands)
+    return TEResult(
+        scheme="forced",
+        assignment=assignment,
+        demands=demands,
+        satisfied_volume=satisfied,
+        runtime_s=0.0,
+    )
+
+
+class TestSimulate:
+    def test_underloaded_no_loss(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([2.0, 3.0])])
+        outcome = simulate(tiny_topology, _forced_result(demands, 0))
+        assert outcome.delivered_volume == pytest.approx(5.0)
+        assert outcome.max_utilization == pytest.approx(0.5)
+
+    def test_overload_sheds_proportionally(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([12.0, 8.0])])
+        outcome = simulate(tiny_topology, _forced_result(demands, 0))
+        # 20 offered on a 10 Gbps path -> half delivered.
+        assert outcome.delivered_volume == pytest.approx(10.0)
+        fractions = outcome.flow_delivery[0]
+        np.testing.assert_allclose(fractions, 0.5)
+
+    def test_rejected_flows_carry_nothing(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0, 1.0])])
+        outcome = simulate(tiny_topology, _forced_result(demands, -1))
+        assert outcome.delivered_volume == 0.0
+        assert outcome.offered_volume == 0.0
+
+    def test_link_utilization_query(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([5.0])])
+        outcome = simulate(tiny_topology, _forced_result(demands, 0))
+        assert outcome.utilization_of("a", "b") == pytest.approx(0.5)
+        assert outcome.utilization_of("a", "r") == 0.0
+
+    def test_megate_result_no_loss(self, b4_topology, b4_demands):
+        result = MegaTEOptimizer().solve(b4_topology, b4_demands)
+        outcome = simulate(b4_topology, result)
+        assert outcome.delivered_volume == pytest.approx(
+            outcome.offered_volume, rel=1e-9
+        )
+
+
+class TestFlowLatencies:
+    def test_latency_is_tunnel_weight(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0, 2.0])])
+        result = _forced_result(demands, 1)  # the 20 ms detour
+        lat = compute_flow_latencies(tiny_topology, result, metric="ms")
+        np.testing.assert_allclose(lat.latencies, 20.0)
+
+    def test_hops_metric(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0])])
+        lat = compute_flow_latencies(
+            tiny_topology, _forced_result(demands, 1), metric="hops"
+        )
+        assert lat.latencies[0] == 2
+
+    def test_congestion_inflates_latency(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([9.0])])
+        plain = compute_flow_latencies(
+            tiny_topology, _forced_result(demands, 0), metric="ms"
+        )
+        congested = compute_flow_latencies(
+            tiny_topology,
+            _forced_result(demands, 0),
+            metric="ms",
+            congestion_aware=True,
+        )
+        assert congested.latencies[0] > plain.latencies[0]
+
+    def test_qos_slicing(self, tiny_topology):
+        demands = DemandMatrix(
+            [make_pair_demands([1.0, 2.0], qos=[1, 3])]
+        )
+        lat = compute_flow_latencies(
+            tiny_topology, _forced_result(demands, 0)
+        )
+        assert lat.for_qos(QoSClass.CLASS1).size == 1
+        assert lat.volume_weighted_mean(QoSClass.CLASS3) == pytest.approx(
+            5.0
+        )
+
+    def test_percentile(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0] * 10)])
+        lat = compute_flow_latencies(
+            tiny_topology, _forced_result(demands, 0)
+        )
+        assert lat.percentile(50) == pytest.approx(5.0)
+
+    def test_empty_result(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([])])
+        lat = compute_flow_latencies(
+            tiny_topology, _forced_result(demands, 0)
+        )
+        assert lat.latencies.size == 0
+        assert np.isnan(lat.volume_weighted_mean())
+
+
+class TestMetrics:
+    def test_availability_of_pinned_tunnel(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0])])
+        result = _forced_result(demands, 0)
+        tunnel = tiny_topology.catalog.tunnels(0)[0]
+        assert weighted_availability(
+            tiny_topology, result
+        ) == pytest.approx(tunnel.availability)
+
+    def test_rejected_flows_drag_availability(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0, 1.0])])
+        assignment = FlowAssignment(
+            per_pair=[np.array([0, -1], dtype=np.int32)]
+        )
+        result = TEResult(
+            scheme="x",
+            assignment=assignment,
+            demands=demands,
+            satisfied_volume=1.0,
+            runtime_s=0.0,
+        )
+        avail = weighted_availability(tiny_topology, result)
+        tunnel = tiny_topology.catalog.tunnels(0)[0]
+        assert avail == pytest.approx(tunnel.availability / 2.0)
+
+    def test_cost_accounting(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([2.0])])
+        result = _forced_result(demands, 1)
+        tunnel = tiny_topology.catalog.tunnels(0)[1]
+        assert traffic_cost(tiny_topology, result) == pytest.approx(
+            2.0 * tunnel.cost_per_gbps
+        )
+        assert cost_per_gbps(tiny_topology, result) == pytest.approx(
+            tunnel.cost_per_gbps
+        )
+
+
+class TestFailures:
+    def test_surviving_volume(self, tiny_topology):
+        demands = DemandMatrix([make_pair_demands([1.0, 2.0])])
+        result = _forced_result(demands, 0)  # direct a-b tunnel
+        assert surviving_volume(
+            tiny_topology, result, {("a", "b")}
+        ) == pytest.approx(0.0)
+        assert surviving_volume(
+            tiny_topology, result, {("a", "r")}
+        ) == pytest.approx(3.0)
+
+    def test_failure_study_outcome(self, b4_topology, b4_demands):
+        scenario = sample_failure_scenarios(
+            b4_topology.network, num_failures=1, num_scenarios=1, seed=0
+        )[0]
+        outcome = run_failure_study(
+            b4_topology,
+            b4_demands,
+            MegaTEOptimizer(),
+            scenario,
+            interval_seconds=300.0,
+        )
+        assert 0 <= outcome.effective_satisfied <= 1
+        assert outcome.recompute_seconds <= 300.0
+        assert outcome.scheme == "MegaTE"
+        # Effective satisfaction is a convex mix of the two phases.
+        low = min(outcome.surviving_fraction, outcome.satisfied_after)
+        high = max(outcome.surviving_fraction, outcome.satisfied_after)
+        assert low - 1e-9 <= outcome.effective_satisfied <= high + 1e-9
+
+    def test_slower_recompute_hurts(self, b4_topology, b4_demands):
+        scenario = sample_failure_scenarios(
+            b4_topology.network, num_failures=2, num_scenarios=1, seed=1
+        )[0]
+        fast = run_failure_study(
+            b4_topology,
+            b4_demands,
+            MegaTEOptimizer(),
+            scenario,
+            recompute_seconds=1.0,
+        )
+        slow = run_failure_study(
+            b4_topology,
+            b4_demands,
+            MegaTEOptimizer(),
+            scenario,
+            recompute_seconds=200.0,
+        )
+        if fast.surviving_fraction < fast.satisfied_after:
+            assert slow.effective_satisfied <= fast.effective_satisfied
+
+
+class TestHashLatencyStudy:
+    def test_bimodal_modes(self, tiny_topology):
+        rng = np.random.default_rng(0)
+        demands = DemandMatrix(
+            [
+                make_pair_demands(
+                    rng.uniform(0.1, 0.3, size=80).tolist(),
+                    with_endpoints=True,
+                )
+            ]
+        )
+        series = measure_hash_latency(
+            tiny_topology, demands, [(0, 0), (0, 1)], num_epochs=64
+        )
+        assert len(series) == 2
+        # With ~16 Gbps on a 10+10 topology both tunnels carry traffic;
+        # over 64 epochs a watched pair visits both latencies.
+        all_modes = set()
+        for s in series:
+            all_modes.update(s.modes())
+        assert 5.0 in all_modes and 20.0 in all_modes
+
+    def test_spread_metric(self, tiny_topology):
+        rng = np.random.default_rng(1)
+        demands = DemandMatrix(
+            [
+                make_pair_demands(
+                    rng.uniform(0.1, 0.3, size=80).tolist(),
+                    with_endpoints=True,
+                )
+            ]
+        )
+        series = measure_hash_latency(
+            tiny_topology, demands, [(0, 0)], num_epochs=64
+        )
+        assert series[0].spread_ms in (0.0, 15.0)

@@ -1,0 +1,93 @@
+"""Tests for the scale-sweep harness itself (status handling, records)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.fig09 import DEFAULT_SCALES
+from repro.experiments.sweep import SweepRecord, run_scale_sweep
+
+
+class _ExplodingScheme:
+    """A scheme that always hits its size guard — the OOM path."""
+
+    scheme_name = "Exploder"
+
+    def solve(self, topology, demands):
+        raise ValueError("model too large")
+
+
+class _ConstantScheme:
+    scheme_name = "Constant"
+
+    def solve(self, topology, demands):
+        from repro.core import MegaTEOptimizer
+
+        return MegaTEOptimizer().solve(topology, demands)
+
+
+class TestSweepHarness:
+    def test_oom_recorded_not_raised(self):
+        records = run_scale_sweep(
+            "b4",
+            [150],
+            schemes={"Exploder": _ExplodingScheme},
+            num_site_pairs=5,
+            seed=0,
+        )
+        assert len(records) == 1
+        record = records[0]
+        assert record.status == "OOM"
+        assert math.isnan(record.runtime_s)
+        assert math.isnan(record.satisfied)
+
+    def test_mixed_schemes_keep_going(self):
+        records = run_scale_sweep(
+            "b4",
+            [150],
+            schemes={
+                "Exploder": _ExplodingScheme,
+                "Constant": _ConstantScheme,
+            },
+            num_site_pairs=5,
+            seed=0,
+        )
+        by_scheme = {r.scheme: r for r in records}
+        assert by_scheme["Exploder"].status == "OOM"
+        assert by_scheme["Constant"].status == "ok"
+        assert by_scheme["Constant"].satisfied > 0
+
+    def test_records_carry_instance_size(self):
+        records = run_scale_sweep(
+            "b4",
+            [150, 300],
+            schemes={"Constant": _ConstantScheme},
+            num_site_pairs=5,
+            seed=1,
+        )
+        sizes = [r.num_endpoints for r in records]
+        assert sizes[0] < sizes[1]
+        assert all(r.num_flows > 0 for r in records)
+
+    def test_default_scales_cover_all_topologies(self):
+        assert set(DEFAULT_SCALES) == {
+            "b4", "deltacom", "cogentco", "twan",
+        }
+        for scales in DEFAULT_SCALES.values():
+            assert scales == sorted(scales)
+            assert len(scales) >= 3
+
+    def test_record_is_frozen(self):
+        record = SweepRecord(
+            topology="x",
+            scheme="y",
+            num_endpoints=1,
+            num_flows=1,
+            runtime_s=0.0,
+            satisfied=1.0,
+            status="ok",
+        )
+        with pytest.raises(AttributeError):
+            record.satisfied = 0.5

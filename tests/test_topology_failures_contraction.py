@@ -1,0 +1,118 @@
+"""Tests for failure scenarios and the two-layer contraction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    TwoLayerTopology,
+    b4,
+    build_tunnels,
+    contract,
+    deltacom,
+    sample_failure_scenarios,
+)
+from repro.topology.endpoints import EndpointLayout
+from repro.topology.failures import FailureScenario
+
+
+class TestFailureScenarios:
+    def test_requested_count(self):
+        scenarios = sample_failure_scenarios(
+            deltacom(), num_failures=2, num_scenarios=4, seed=1
+        )
+        assert len(scenarios) == 4
+        assert all(s.num_failures == 2 for s in scenarios)
+
+    def test_scenarios_distinct(self):
+        scenarios = sample_failure_scenarios(
+            deltacom(), num_failures=3, num_scenarios=5, seed=2
+        )
+        assert len({s.fibers for s in scenarios}) == 5
+
+    def test_connectivity_preserved(self):
+        net = b4()
+        scenarios = sample_failure_scenarios(
+            net, num_failures=2, num_scenarios=5, seed=3
+        )
+        for scenario in scenarios:
+            survivor = scenario.apply(net).to_networkx().to_undirected()
+            assert nx.is_connected(survivor)
+
+    def test_failed_links_are_both_directions(self):
+        scenario = FailureScenario(fibers=(("a", "b"),))
+        assert set(scenario.failed_links) == {("a", "b"), ("b", "a")}
+
+    def test_too_many_failures_rejected(self):
+        with pytest.raises(ValueError):
+            sample_failure_scenarios(b4(), num_failures=1000)
+
+    def test_apply_removes_links(self):
+        net = b4()
+        scenario = sample_failure_scenarios(
+            net, num_failures=1, num_scenarios=1, seed=4
+        )[0]
+        survivor = scenario.apply(net)
+        a, b = scenario.fibers[0]
+        assert not survivor.has_link(a, b)
+        assert not survivor.has_link(b, a)
+        assert survivor.num_links == net.num_links - 2
+
+
+class TestContraction:
+    def test_contract_builds_all_parts(self):
+        topo = contract(
+            b4(),
+            site_pairs=[("B4-00", "B4-05")],
+            tunnels_per_pair=2,
+            total_endpoints=200,
+            seed=0,
+        )
+        assert topo.num_sites == 12
+        assert topo.num_endpoints == pytest.approx(200, rel=0.15)
+        assert topo.catalog.num_pairs == 1
+
+    def test_layout_site_validation(self):
+        net = b4()
+        catalog = build_tunnels(
+            net, [("B4-00", "B4-01")], tunnels_per_pair=1
+        )
+        bad_layout = EndpointLayout({"mars": 5})
+        with pytest.raises(ValueError, match="unknown site"):
+            TwoLayerTopology(
+                network=net, catalog=catalog, layout=bad_layout
+            )
+
+    def test_with_failures_preserves_pair_indices(self):
+        topo = contract(
+            b4(),
+            site_pairs=[("B4-00", "B4-05"), ("B4-01", "B4-07")],
+            tunnels_per_pair=3,
+            total_endpoints=100,
+            seed=0,
+        )
+        failed = topo.catalog.tunnels(0)[0].links[:1]
+        degraded = topo.with_failures(list(failed))
+        assert degraded.catalog.pairs == topo.catalog.pairs
+        assert len(degraded.catalog.tunnels(0)) < len(
+            topo.catalog.tunnels(0)
+        )
+        # Layout is shared, not copied.
+        assert degraded.num_endpoints == topo.num_endpoints
+
+    def test_endpoint_sites_passthrough(self):
+        from repro.topology import twan
+
+        net = twan(num_regions=3, sites_per_region=3)
+        eligible = [s for s in net.sites if not s.endswith("-eco")]
+        topo = contract(
+            net,
+            site_pairs=[(eligible[0], eligible[4])],
+            total_endpoints=50,
+            endpoint_sites=eligible,
+            seed=0,
+        )
+        for site in net.sites:
+            if site.endswith("-eco"):
+                assert topo.layout.count(site) == 0

@@ -1,0 +1,114 @@
+"""Tests for the site-level network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.graph import Link, SiteNetwork
+
+
+class TestLink:
+    def test_valid_link(self):
+        link = Link("a", "b", capacity=10.0, latency_ms=2.0)
+        assert link.key == ("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Link("a", "a", capacity=1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", capacity=-1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", capacity=1.0, latency_ms=-1.0)
+
+    def test_bad_availability_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", capacity=1.0, availability=1.5)
+
+
+class TestSiteNetwork:
+    def _simple(self) -> SiteNetwork:
+        net = SiteNetwork(name="t")
+        net.add_duplex_link("a", "b", capacity=10.0, latency_ms=3.0)
+        net.add_duplex_link("b", "c", capacity=20.0, latency_ms=4.0)
+        return net
+
+    def test_duplex_creates_both_directions(self):
+        net = self._simple()
+        assert net.has_link("a", "b") and net.has_link("b", "a")
+        assert net.num_links == 4
+
+    def test_sites_auto_registered_in_order(self):
+        net = self._simple()
+        assert net.sites == ["a", "b", "c"]
+        assert net.num_sites == 3
+
+    def test_duplicate_link_rejected(self):
+        net = self._simple()
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_link(Link("a", "b", capacity=1.0))
+
+    def test_link_lookup(self):
+        net = self._simple()
+        assert net.link("b", "c").capacity == 20.0
+        with pytest.raises(KeyError):
+            net.link("a", "c")
+
+    def test_contains_and_iter(self):
+        net = self._simple()
+        assert "a" in net
+        assert "z" not in net
+        assert len(list(net)) == 4
+
+    def test_path_latency(self):
+        net = self._simple()
+        assert net.path_latency_ms(["a", "b", "c"]) == pytest.approx(7.0)
+
+    def test_path_availability_is_product(self):
+        net = SiteNetwork()
+        net.add_duplex_link("a", "b", 1.0, availability=0.99)
+        net.add_duplex_link("b", "c", 1.0, availability=0.98)
+        assert net.path_availability(["a", "b", "c"]) == pytest.approx(
+            0.99 * 0.98
+        )
+
+    def test_path_cost(self):
+        net = SiteNetwork()
+        net.add_duplex_link("a", "b", 1.0, cost_per_gbps=2.0)
+        net.add_duplex_link("b", "c", 1.0, cost_per_gbps=3.0)
+        assert net.path_cost_per_gbps(["a", "b", "c"]) == pytest.approx(5.0)
+
+    def test_to_networkx(self):
+        graph = self._simple().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 4
+        assert graph["a"]["b"]["latency_ms"] == 3.0
+
+    def test_without_links(self):
+        net = self._simple()
+        cut = net.without_links([("a", "b"), ("b", "a")])
+        assert not cut.has_link("a", "b")
+        assert not cut.has_link("b", "a")
+        assert cut.has_link("b", "c")
+        # Original untouched.
+        assert net.has_link("a", "b")
+        # Sites all survive.
+        assert cut.sites == net.sites
+
+    def test_scaled_capacity(self):
+        net = self._simple()
+        doubled = net.scaled_capacity(2.0)
+        assert doubled.link("a", "b").capacity == 20.0
+        assert net.link("a", "b").capacity == 10.0
+
+    def test_scaled_capacity_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self._simple().scaled_capacity(-1.0)
+
+    def test_capacities_mapping(self):
+        caps = self._simple().capacities()
+        assert caps[("a", "b")] == 10.0
+        assert len(caps) == 4

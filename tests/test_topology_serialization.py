@@ -1,0 +1,111 @@
+"""Tests for topology JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.topology import (
+    b4,
+    contract,
+    dump_topology,
+    load_topology,
+    network_from_dict,
+    network_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+    twan,
+)
+
+
+class TestNetworkRoundtrip:
+    @pytest.mark.parametrize("factory", [b4, twan])
+    def test_roundtrip_preserves_everything(self, factory):
+        original = factory()
+        restored = network_from_dict(network_to_dict(original))
+        assert restored.sites == original.sites
+        assert restored.num_links == original.num_links
+        for link in original.links:
+            twin = restored.link(link.src, link.dst)
+            assert twin.capacity == link.capacity
+            assert twin.latency_ms == link.latency_ms
+            assert twin.cost_per_gbps == link.cost_per_gbps
+            assert twin.availability == link.availability
+
+    def test_json_serializable(self):
+        payload = json.dumps(network_to_dict(b4()))
+        assert "B4-00" in payload
+
+    def test_defaults_applied(self):
+        data = {
+            "name": "t",
+            "sites": ["a", "b"],
+            "links": [{"src": "a", "dst": "b", "capacity": 5.0}],
+        }
+        net = network_from_dict(data)
+        assert net.link("a", "b").latency_ms == 1.0
+
+
+class TestTopologyRoundtrip:
+    @pytest.fixture()
+    def topology(self):
+        return contract(
+            b4(),
+            site_pairs=[("B4-00", "B4-05"), ("B4-03", "B4-11")],
+            tunnels_per_pair=3,
+            total_endpoints=100,
+            seed=0,
+        )
+
+    def test_roundtrip(self, topology):
+        restored = topology_from_dict(topology_to_dict(topology))
+        assert restored.catalog.pairs == topology.catalog.pairs
+        assert restored.num_endpoints == topology.num_endpoints
+        for k in range(topology.catalog.num_pairs):
+            original_paths = [
+                t.path for t in topology.catalog.tunnels(k)
+            ]
+            restored_paths = [
+                t.path for t in restored.catalog.tunnels(k)
+            ]
+            assert restored_paths == original_paths
+
+    def test_weights_recomputed(self, topology):
+        restored = topology_from_dict(topology_to_dict(topology))
+        for k in range(topology.catalog.num_pairs):
+            for a, b in zip(
+                topology.catalog.tunnels(k),
+                restored.catalog.tunnels(k),
+            ):
+                assert b.weight == pytest.approx(a.weight)
+                assert b.availability == pytest.approx(a.availability)
+
+    def test_file_roundtrip(self, topology, tmp_path):
+        path = str(tmp_path / "topology.json")
+        dump_topology(topology, path)
+        restored = load_topology(path)
+        assert restored.catalog.pairs == topology.catalog.pairs
+
+    def test_unknown_version_rejected(self, topology):
+        data = topology_to_dict(topology)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format"):
+            topology_from_dict(data)
+
+    def test_restored_topology_solves(self, topology, tmp_path):
+        """A reloaded topology is fully usable by the optimizer."""
+        from repro.core import MegaTEOptimizer
+        from repro.traffic import generate_demands
+
+        from repro.core import check_feasibility
+
+        path = str(tmp_path / "t.json")
+        dump_topology(topology, path)
+        restored = load_topology(path)
+        demands = generate_demands(
+            restored, seed=1, target_load=1.0, pairs_per_endpoint=3.0
+        )
+        result = MegaTEOptimizer().solve(restored, demands)
+        assert check_feasibility(restored, result).feasible
+        assert result.satisfied_fraction > 0.5

@@ -1,0 +1,107 @@
+"""Tests for the reference topologies (Table 2)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topology import b4, cogentco, deltacom, topology_by_name, twan
+
+
+class TestB4:
+    def test_site_and_fiber_counts(self):
+        net = b4()
+        assert net.num_sites == 12
+        assert net.num_links == 38  # 19 duplex fibers
+
+    def test_connected(self):
+        graph = b4().to_networkx().to_undirected()
+        assert nx.is_connected(graph)
+
+    def test_custom_capacity(self):
+        net = b4(capacity_gbps=42.0)
+        assert all(link.capacity == 42.0 for link in net.links)
+
+
+class TestZooTopologies:
+    @pytest.mark.parametrize(
+        "factory,sites,fibers",
+        [(deltacom, 113, 161), (cogentco, 197, 245)],
+    )
+    def test_published_counts(self, factory, sites, fibers):
+        net = factory()
+        assert net.num_sites == sites
+        assert net.num_links == fibers * 2
+
+    @pytest.mark.parametrize("factory", [deltacom, cogentco])
+    def test_connected(self, factory):
+        graph = factory().to_networkx().to_undirected()
+        assert nx.is_connected(graph)
+
+    def test_deterministic(self):
+        a, b = deltacom(), deltacom()
+        assert [l.key for l in a.links] == [l.key for l in b.links]
+        assert [l.latency_ms for l in a.links] == [
+            l.latency_ms for l in b.links
+        ]
+
+    def test_positive_latencies(self):
+        assert all(link.latency_ms > 0 for link in cogentco().links)
+
+
+class TestTWAN:
+    def test_order_of_100_sites(self):
+        net = twan()
+        assert 100 <= net.num_sites <= 150
+
+    def test_connected(self):
+        graph = twan().to_networkx().to_undirected()
+        assert nx.is_connected(graph)
+
+    def test_hub_mesh(self):
+        net = twan(num_regions=4, sites_per_region=3)
+        hubs = [s for s in net.sites if s.endswith("-hub")]
+        assert len(hubs) == 4
+        for i, a in enumerate(hubs):
+            for b in hubs[i + 1 :]:
+                assert net.has_link(a, b)
+
+    def test_economy_core_cheaper_and_less_available(self):
+        net = twan()
+        eco_links = [
+            l
+            for l in net.links
+            if "-eco" in l.src and "-eco" in l.dst
+        ]
+        hub_links = [
+            l
+            for l in net.links
+            if l.src.endswith("-hub") and l.dst.endswith("-hub")
+        ]
+        assert eco_links and hub_links
+        assert max(l.cost_per_gbps for l in eco_links) < min(
+            l.cost_per_gbps for l in hub_links
+        )
+        assert max(l.availability for l in eco_links) < min(
+            l.availability for l in hub_links
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            twan(num_regions=1)
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,sites",
+        [("b4", 12), ("B4*", 12), ("Deltacom", 113), ("cogentco", 197)],
+    )
+    def test_by_name(self, name, sites):
+        assert topology_by_name(name).num_sites == sites
+
+    def test_twan_by_name(self):
+        assert topology_by_name("twan").name == "TWAN"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            topology_by_name("arpanet")

@@ -1,0 +1,145 @@
+"""Tests for demand prediction across TE intervals (§8 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    DemandMatrix,
+    DiurnalPredictor,
+    DiurnalSequence,
+    EWMAPredictor,
+    LastValuePredictor,
+    prediction_error,
+)
+
+from conftest import make_pair_demands
+
+
+def _matrix(values):
+    return DemandMatrix([make_pair_demands(list(values))])
+
+
+class TestLastValue:
+    def test_predicts_last_observation(self):
+        predictor = LastValuePredictor()
+        predictor.observe(_matrix([1.0, 2.0]))
+        predictor.observe(_matrix([3.0, 4.0]))
+        np.testing.assert_allclose(
+            predictor.predict().pair(0).volumes, [3.0, 4.0]
+        )
+
+    def test_needs_observation(self):
+        with pytest.raises(RuntimeError):
+            LastValuePredictor().predict()
+
+
+class TestEWMA:
+    def test_converges_to_constant_signal(self):
+        predictor = EWMAPredictor(alpha=0.5)
+        for _ in range(20):
+            predictor.observe(_matrix([4.0]))
+        assert predictor.predict().pair(0).volumes[0] == pytest.approx(4.0)
+
+    def test_smooths_spikes(self):
+        predictor = EWMAPredictor(alpha=0.2)
+        for _ in range(10):
+            predictor.observe(_matrix([1.0]))
+        predictor.observe(_matrix([100.0]))
+        predicted = predictor.predict().pair(0).volumes[0]
+        assert 1.0 < predicted < 25.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=1.5)
+
+    def test_shape_change_rejected(self):
+        predictor = EWMAPredictor()
+        predictor.observe(_matrix([1.0]))
+        with pytest.raises(ValueError):
+            predictor.observe(
+                DemandMatrix(
+                    [make_pair_demands([1.0]), make_pair_demands([2.0])]
+                )
+            )
+
+    def test_needs_observation(self):
+        with pytest.raises(RuntimeError):
+            EWMAPredictor().predict()
+
+
+class TestDiurnal:
+    def test_learns_daily_profile(self):
+        """After two days, the predictor knows each slot's level."""
+        predictor = DiurnalPredictor(intervals_per_day=4)
+        day = [[1.0], [5.0], [9.0], [5.0]]
+        for _ in range(2):
+            for slot_values in day:
+                predictor.observe(_matrix(slot_values))
+        # The clock is at slot 0; the next interval is slot 0.
+        assert predictor.predict().pair(0).volumes[0] == pytest.approx(1.0)
+        predictor.observe(_matrix([1.0]))
+        assert predictor.predict().pair(0).volumes[0] == pytest.approx(5.0)
+
+    def test_fallback_before_history(self):
+        predictor = DiurnalPredictor(intervals_per_day=100)
+        predictor.observe(_matrix([7.0]))
+        # Slot 1 has no history; EWMA fallback returns ~7.
+        assert predictor.predict().pair(0).volumes[0] == pytest.approx(7.0)
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            DiurnalPredictor(intervals_per_day=0)
+
+    def test_beats_last_value_on_diurnal_load(self):
+        """On a strongly diurnal signal, the profile predictor wins."""
+        base = _matrix([10.0, 20.0, 5.0])
+        sequence = DiurnalSequence(
+            base=base,
+            interval_minutes=60.0,
+            peak_to_trough=4.0,
+            jitter_sigma=0.05,
+            seed=3,
+        )
+        diurnal = DiurnalPredictor(intervals_per_day=24)
+        last = LastValuePredictor()
+        # Train on two days.
+        for day in range(2):
+            for n in range(24):
+                m = sequence.matrix(n)
+                diurnal.observe(m)
+                last.observe(m)
+        # Evaluate over a third day.
+        err_diurnal, err_last = [], []
+        for n in range(24):
+            actual = sequence.matrix(n)
+            err_diurnal.append(
+                prediction_error(diurnal.predict(), actual)
+            )
+            err_last.append(prediction_error(last.predict(), actual))
+            diurnal.observe(actual)
+            last.observe(actual)
+        assert np.mean(err_diurnal) < np.mean(err_last)
+
+
+class TestPredictionError:
+    def test_zero_for_perfect_forecast(self):
+        m = _matrix([1.0, 2.0])
+        assert prediction_error(m, m) == 0.0
+
+    def test_relative_error(self):
+        predicted = _matrix([1.0, 1.0])
+        actual = _matrix([2.0, 2.0])
+        assert prediction_error(predicted, actual) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_error(
+                _matrix([1.0]),
+                DemandMatrix(
+                    [make_pair_demands([1.0]), make_pair_demands([1.0])]
+                ),
+            )
