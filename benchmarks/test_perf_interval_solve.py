@@ -1,0 +1,87 @@
+"""Interval hot-path benchmark: the control loop's per-interval cost.
+
+Replays ten diurnal intervals on the 100-site TWAN topology with the
+default synthetic trace, once through the batched second stage (triage +
+contended FastSSP) and once through the reference serial path, and
+records the per-phase timing breakdown (``TEResult.stats["phase_s"]``) to
+``BENCH_interval_solve.json`` at the repo root so the interval-solve
+trajectory is trackable across PRs.
+
+The equivalence contract is asserted here too: both paths must produce
+bit-identical flow assignments over the whole replay (SHA-256 digest of
+every interval's assignment arrays).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import MegaTEOptimizer
+from repro.experiments import run_interval_replay
+
+from conftest import run_once
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_interval_solve.json"
+
+REPLAY_CONFIG = dict(
+    topology_name="twan",
+    total_endpoints=20_000,
+    num_site_pairs=60,
+    target_load=1.0,
+    seed=42,
+    sequence_seed=5,
+    num_intervals=10,
+)
+
+
+def test_interval_solve_breakdown(benchmark):
+    batched = run_once(
+        benchmark,
+        run_interval_replay,
+        optimizer=MegaTEOptimizer(second_stage="batched"),
+        **REPLAY_CONFIG,
+    )
+    serial = run_interval_replay(
+        optimizer=MegaTEOptimizer(second_stage="serial"), **REPLAY_CONFIG
+    )
+
+    # The batched second stage is a pure hot-path optimization: identical
+    # allocations, bit for bit, across the whole replay.
+    assert batched.assignment_digest == serial.assignment_digest
+
+    solver_s = batched.stage1_lp_s + batched.stage2_ssp_s
+    serial_solver_s = serial.stage1_lp_s + serial.stage2_ssp_s
+    print(
+        f"\n{batched.num_intervals}-interval replay on "
+        f"{REPLAY_CONFIG['topology_name']} "
+        f"({batched.num_flows:,} flows/interval)"
+    )
+    print(
+        f"  batched: stage1 {batched.stage1_lp_s:.3f}s + "
+        f"stage2 {batched.stage2_ssp_s:.3f}s = {solver_s:.3f}s "
+        f"({batched.num_uncontended_pairs} uncontended / "
+        f"{batched.num_contended_pairs} contended pair solves)"
+    )
+    print(
+        f"  serial:  stage1 {serial.stage1_lp_s:.3f}s + "
+        f"stage2 {serial.stage2_ssp_s:.3f}s = {serial_solver_s:.3f}s"
+    )
+    for phase, seconds in batched.phase_s.items():
+        print(f"  phase {phase:<16s} {seconds * 1e3:8.1f} ms")
+
+    payload = {
+        "config": REPLAY_CONFIG,
+        "batched": batched.as_dict(),
+        "serial": serial.as_dict(),
+        "batched_over_serial_solver_time": (
+            solver_s / serial_solver_s if serial_solver_s > 0 else None
+        ),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {ARTIFACT.name}")
+
+    benchmark.extra_info["stage1_lp_s"] = batched.stage1_lp_s
+    benchmark.extra_info["stage2_ssp_s"] = batched.stage2_ssp_s
+    benchmark.extra_info["phase_s"] = dict(batched.phase_s)
+    benchmark.extra_info["assignment_digest"] = batched.assignment_digest

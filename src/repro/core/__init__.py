@@ -1,12 +1,12 @@
 """MegaTE's core contribution: the contracted two-stage TE optimization."""
 
-from .batch import BatchSSPInstance, solve_ssp_batch
+from .batch import BatchSSPInstance, solve_ssp_batch, triage_ssp_batch
 from .exact import ExactSolution, solve_max_all_flow
 from .fastssp import FastSSPResult, fast_ssp
 from .formulation import MaxAllFlowProblem
-from .parallel import parallel_map
+from .parallel import parallel_map, resolve_workers
 from .qos import PRIORITY_ORDER, QoSClass
-from .siteflow import solve_max_site_flow
+from .siteflow import SiteFlowSolver, solve_max_site_flow
 from .ssp import (
     SSPSolution,
     brute_force_ssp,
@@ -48,4 +48,7 @@ __all__ = [
     "UNASSIGNED",
     "BatchSSPInstance",
     "solve_ssp_batch",
+    "triage_ssp_batch",
+    "SiteFlowSolver",
+    "resolve_workers",
 ]

@@ -9,6 +9,12 @@ majority in production, where most site pairs are uncontended) are
 resolved in one NumPy pass, and only genuinely contended instances run
 the full four-step FastSSP.
 
+:func:`triage_ssp_batch` exposes the vectorized triage on its own so the
+two-stage optimizer can resolve uncontended site pairs in bulk and route
+*only* the contended residue into per-pair FastSSP (optionally under a
+thread pool).  :func:`solve_ssp_batch` composes triage with per-instance
+FastSSP for a complete drop-in batch solve.
+
 Results are identical to calling :func:`repro.core.fastssp.fast_ssp` per
 instance (property-tested), making the batch a drop-in accelerator.
 """
@@ -21,7 +27,7 @@ import numpy as np
 
 from .fastssp import FastSSPResult, fast_ssp
 
-__all__ = ["BatchSSPInstance", "solve_ssp_batch"]
+__all__ = ["BatchSSPInstance", "solve_ssp_batch", "triage_ssp_batch"]
 
 
 @dataclass(frozen=True)
@@ -39,58 +45,94 @@ class BatchSSPInstance:
     epsilon: float = 0.1
 
 
+def _empty_result(capacity: float) -> FastSSPResult:
+    return FastSSPResult(
+        selected=(),
+        total=0.0,
+        capacity=float(max(capacity, 0.0)),
+        num_clusters=0,
+        dp_selected_volume=0.0,
+        greedy_selected_volume=0.0,
+        error_bound=0.0,
+    )
+
+
+def _select_all_result(size: int, total: float, capacity: float) -> FastSSPResult:
+    return FastSSPResult(
+        selected=tuple(range(size)),
+        total=float(total),
+        capacity=float(capacity),
+        num_clusters=0,
+        dp_selected_volume=float(total),
+        greedy_selected_volume=0.0,
+        error_bound=0.0,
+    )
+
+
+def triage_ssp_batch(
+    instances: list[BatchSSPInstance],
+) -> tuple[list[FastSSPResult | None], np.ndarray]:
+    """Resolve a batch's fast paths in one vectorized NumPy pass.
+
+    Classifies every instance from three arrays (sizes, totals,
+    capacities) built in a single sweep:
+
+    * zero/negative capacity or empty instances short-circuit to an
+      empty result;
+    * instances whose total demand fits the capacity select everything;
+    * the rest are *contended* and left unsolved.
+
+    Returns:
+        ``(results, contended)`` where ``results`` holds a
+        :class:`FastSSPResult` for every fast-path instance (``None``
+        for contended ones) and ``contended`` is the index array of
+        instances that need a full FastSSP solve.  Fast-path results are
+        bit-identical to what :func:`fast_ssp` returns for them.
+    """
+    n = len(instances)
+    results: list[FastSSPResult | None] = [None] * n
+    if n == 0:
+        return results, np.empty(0, dtype=np.int64)
+
+    arrays = [
+        np.asarray(inst.values, dtype=np.float64) for inst in instances
+    ]
+    sizes = np.fromiter((a.size for a in arrays), dtype=np.int64, count=n)
+    totals = np.fromiter(
+        (a.sum() if a.size else 0.0 for a in arrays),
+        dtype=np.float64,
+        count=n,
+    )
+    capacities = np.fromiter(
+        (inst.capacity for inst in instances), dtype=np.float64, count=n
+    )
+
+    trivial = (capacities <= 0) | (sizes == 0)
+    fits = ~trivial & (totals <= capacities)
+    for idx in np.flatnonzero(trivial):
+        results[idx] = _empty_result(float(capacities[idx]))
+    for idx in np.flatnonzero(fits):
+        results[idx] = _select_all_result(
+            int(sizes[idx]), float(totals[idx]), float(capacities[idx])
+        )
+    contended = np.flatnonzero(~trivial & ~fits)
+    return results, contended
+
+
 def solve_ssp_batch(
     instances: list[BatchSSPInstance],
 ) -> list[FastSSPResult]:
     """Solve a batch of FastSSP instances.
 
-    Fast paths are resolved vectorized across the batch:
-
-    * zero/negative capacity or empty instances short-circuit;
-    * instances whose total demand fits the capacity select everything;
-
-    only genuinely contended instances run the full four-step FastSSP.
+    Fast paths are resolved vectorized across the batch via
+    :func:`triage_ssp_batch`; only genuinely contended instances run the
+    full four-step FastSSP.
 
     Returns:
         One :class:`FastSSPResult` per instance, in input order,
         identical to per-instance :func:`fast_ssp` calls.
     """
-    results: list[FastSSPResult | None] = [None] * len(instances)
-    contended: list[int] = []
-
-    totals = np.array(
-        [
-            float(np.asarray(inst.values).sum())
-            if np.asarray(inst.values).size
-            else 0.0
-            for inst in instances
-        ]
-    )
-    for idx, inst in enumerate(instances):
-        values = np.asarray(inst.values, dtype=np.float64)
-        if inst.capacity <= 0 or values.size == 0:
-            results[idx] = FastSSPResult(
-                selected=(),
-                total=0.0,
-                capacity=float(max(inst.capacity, 0.0)),
-                num_clusters=0,
-                dp_selected_volume=0.0,
-                greedy_selected_volume=0.0,
-                error_bound=0.0,
-            )
-        elif totals[idx] <= inst.capacity:
-            results[idx] = FastSSPResult(
-                selected=tuple(range(values.size)),
-                total=float(totals[idx]),
-                capacity=float(inst.capacity),
-                num_clusters=0,
-                dp_selected_volume=float(totals[idx]),
-                greedy_selected_volume=0.0,
-                error_bound=0.0,
-            )
-        else:
-            contended.append(idx)
-
+    results, contended = triage_ssp_batch(instances)
     for idx in contended:
         inst = instances[idx]
         results[idx] = fast_ssp(
@@ -98,10 +140,6 @@ def solve_ssp_batch(
             inst.capacity,
             epsilon=inst.epsilon,
         )
-    return [r for r in results if r is not None] if all(
-        r is not None for r in results
-    ) else _raise_incomplete()
-
-
-def _raise_incomplete():  # pragma: no cover - defensive
-    raise RuntimeError("batch left unsolved instances")
+    if any(r is None for r in results):  # pragma: no cover - defensive
+        raise RuntimeError("batch left unsolved instances")
+    return results  # type: ignore[return-value]

@@ -155,16 +155,29 @@ def fast_ssp(
         dp_indices.extend(clusters[cluster_idx].tolist())
     dp_volume = float(vals[dp_indices].sum()) if dp_indices else 0.0
 
-    # Step 4: sorted greedy over the residual demands and capacity.
+    # Step 4: sorted greedy over the residual demands and capacity.  The
+    # greedy can only select anything when residual capacity remains (or
+    # zero-valued residual demands exist, which fit a zero residual), so
+    # the common fully-packed case skips the call entirely.
     selected_mask = np.zeros(vals.size, dtype=bool)
     if dp_indices:
         selected_mask[dp_indices] = True
     residual_capacity = float(capacity) - dp_volume
     residual_indices = np.flatnonzero(~selected_mask)
-    greedy = greedy_ssp(vals[residual_indices], residual_capacity)
-    greedy_indices = residual_indices[list(greedy.selected)]
-    selected_mask[greedy_indices] = True
-    greedy_volume = float(greedy.total)
+    greedy_volume = 0.0
+    if residual_indices.size and (
+        residual_capacity > 0.0
+        or (
+            residual_capacity == 0.0
+            and float(vals[residual_indices].min()) <= 0.0
+        )
+    ):
+        greedy = greedy_ssp(vals[residual_indices], residual_capacity)
+        greedy_indices = residual_indices[
+            np.asarray(greedy.selected, dtype=np.int64)
+        ]
+        selected_mask[greedy_indices] = True
+        greedy_volume = float(greedy.total)
 
     total = dp_volume + greedy_volume
     unselected = np.flatnonzero(~selected_mask)

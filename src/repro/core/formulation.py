@@ -1,9 +1,14 @@
 """The MaxAllFlow problem container (paper §4.1, Table 1).
 
 Bundles topology, tunnels and endpoint-granular demands into the TE input,
-validates their alignment, and precomputes the indexing that solvers share:
+validates their alignment, and exposes the indexing that solvers share:
 flattened ``(k, t)`` variable offsets and the link-incidence structure
 ``L(t, e)``.
+
+The indexing itself lives in the per-topology
+:class:`~repro.core.siteflow.SiteFlowSolver` cache: a fresh problem is
+built every TE interval, but the topology persists across intervals, so
+delegating keeps the interval hot path free of re-derivation work.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
+    from .siteflow import SiteFlowSolver
     from ..topology.contraction import TwoLayerTopology
     from ..traffic.demand import DemandMatrix
 
@@ -47,72 +53,53 @@ class MaxAllFlowProblem:
             )
 
     @cached_property
+    def siteflow_solver(self) -> "SiteFlowSolver":
+        """The topology's cached first-stage solver and shared indexing."""
+        from .siteflow import SiteFlowSolver  # deferred: import cycle
+
+        return SiteFlowSolver.for_topology(self.topology)
+
+    @property
     def effective_epsilon(self) -> float:
         """The ε actually used in objectives."""
         if self.epsilon is not None:
             return self.epsilon
-        max_weight = 0.0
-        for _, _, tunnel in self.topology.catalog.all_tunnels():
-            max_weight = max(max_weight, tunnel.weight)
-        return 0.1 / max_weight if max_weight > 0 else 0.0
+        return self.siteflow_solver.default_epsilon
 
-    @cached_property
+    @property
     def link_index(self) -> dict[tuple[str, str], int]:
         """Directed link key -> row index, shared by all LP builders."""
-        return {
-            link.key: idx
-            for idx, link in enumerate(self.topology.network.links)
-        }
+        return self.siteflow_solver.link_index
 
     @cached_property
     def capacities(self) -> np.ndarray:
-        """Capacity vector aligned with :attr:`link_index`."""
-        return np.array(
-            [link.capacity for link in self.topology.network.links],
-            dtype=np.float64,
-        )
+        """Capacity vector aligned with :attr:`link_index`.
 
-    @cached_property
+        A per-problem copy, so callers may scale or edit it without
+        touching the topology-level cache.
+        """
+        return self.siteflow_solver.capacities.copy()
+
+    @property
     def tunnel_offsets(self) -> np.ndarray:
         """Start offset of each site pair's tunnels in the flat (k,t) space.
 
         ``offsets[k] .. offsets[k+1]`` are the flat variable indices of
         ``T_k``; ``offsets[-1]`` is the total tunnel count.
         """
-        counts = [
-            len(self.topology.catalog.tunnels(k))
-            for k in range(self.topology.catalog.num_pairs)
-        ]
-        return np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return self.siteflow_solver.tunnel_offsets
 
     @property
     def num_tunnel_vars(self) -> int:
         """Total tunnels across all site pairs."""
-        return int(self.tunnel_offsets[-1])
+        return self.siteflow_solver.num_tunnel_vars
 
-    @cached_property
+    @property
     def tunnel_weights(self) -> np.ndarray:
         """``w_t`` per flat tunnel variable."""
-        weights = np.empty(self.num_tunnel_vars, dtype=np.float64)
-        pos = 0
-        for k in range(self.topology.catalog.num_pairs):
-            for tunnel in self.topology.catalog.tunnels(k):
-                weights[pos] = tunnel.weight
-                pos += 1
-        return weights
+        return self.siteflow_solver.tunnel_weights
 
     def tunnel_link_incidence(self) -> tuple[np.ndarray, np.ndarray]:
         """Sparse COO of ``L(t, e)``: (link_row, flat_tunnel_col) pairs."""
-        rows: list[int] = []
-        cols: list[int] = []
-        link_index = self.link_index
-        pos = 0
-        for k in range(self.topology.catalog.num_pairs):
-            for tunnel in self.topology.catalog.tunnels(k):
-                for key in tunnel.links:
-                    rows.append(link_index[key])
-                    cols.append(pos)
-                pos += 1
-        return np.asarray(rows, dtype=np.int64), np.asarray(
-            cols, dtype=np.int64
-        )
+        solver = self.siteflow_solver
+        return solver.incidence_rows, solver.incidence_cols

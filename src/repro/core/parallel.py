@@ -6,35 +6,74 @@ parallel").  The paper uses a 24-thread Xeon; this container has one core,
 so the default is serial execution, with a thread-pool option for hosts
 where it helps (FastSSP spends its time in NumPy kernels that release the
 GIL).
+
+Work items are dispatched in *chunks*: a contended site-pair solve can be
+microseconds, so handing items to the pool one at a time would drown the
+solve in future/queue overhead.  Each pool task therefore processes a
+contiguous slice of the input serially.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
-__all__ = ["parallel_map"]
+__all__ = ["parallel_map", "resolve_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
+def resolve_workers(workers: int | str | None) -> int | None:
+    """Normalize a worker spec: ``"auto"`` becomes ``os.cpu_count()``.
+
+    ``None``/0/1 mean serial and are passed through unchanged.
+    """
+    if workers == "auto":
+        return os.cpu_count() or 1
+    if isinstance(workers, str):
+        raise ValueError(
+            f"workers must be an int, None or 'auto', got {workers!r}"
+        )
+    return workers
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
-    workers: int | None = None,
+    workers: int | str | None = None,
+    chunk_size: int | None = None,
 ) -> list[R]:
-    """Map ``fn`` over ``items``, optionally with a thread pool.
+    """Map ``fn`` over ``items``, optionally with a chunked thread pool.
 
     Args:
         fn: The per-item solver (must be thread-safe).
         items: Work items, e.g. site-pair indices.
-        workers: Thread count; ``None``, 0 or 1 runs serially.
+        workers: Thread count; ``None``, 0 or 1 runs serially, ``"auto"``
+            resolves to ``os.cpu_count()``.
+        chunk_size: Items per pool task.  Defaults to splitting the input
+            into ~4 chunks per worker so per-task dispatch overhead stays
+            negligible while the pool can still balance uneven chunks.
 
     Returns:
         Results in input order.
     """
+    workers = resolve_workers(workers)
     if workers is None or workers <= 1 or len(items) < 2:
         return [fn(item) for item in items]
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(items) // (workers * 4)))
+    elif chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks = [
+        items[pos : pos + chunk_size]
+        for pos in range(0, len(items), chunk_size)
+    ]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        out: list[R] = []
+        for part in pool.map(
+            lambda chunk: [fn(item) for item in chunk], chunks
+        ):
+            out.extend(part)
+        return out

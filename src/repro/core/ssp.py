@@ -139,12 +139,16 @@ def brute_force_ssp(values: np.ndarray, capacity: float) -> SSPSolution:
         raise ValueError("brute force limited to 22 items")
     best_total = -1.0
     best_mask = 0
+    # Same ulp-level slack as meet_in_the_middle_ssp: a subset that fills
+    # the capacity exactly can land a few ulps above it when its items are
+    # accumulated in a different order than the caller's capacity was.
+    slack = capacity * (1.0 + 1e-12) + 1e-12
     for mask in range(1 << n):
         total = 0.0
         for i in range(n):
             if mask >> i & 1:
                 total += float(vals[i])
-        if total <= capacity and total > best_total:
+        if total <= slack and total > best_total:
             best_total = total
             best_mask = mask
     selected = tuple(i for i in range(n) if best_mask >> i & 1)

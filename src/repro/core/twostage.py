@@ -12,8 +12,26 @@ Per QoS class, in priority order:
 4. Subtract the class's placed traffic from link capacities and move to the
    next class.
 
-The per-site-pair step 3 solves are independent and dispatched through
-:func:`~repro.core.parallel.parallel_map`.
+Interval hot path (§8 "Parallelism in SSP" + GATE/TEAL-style batching,
+on CPU):
+
+* Stage 1 reuses the per-topology :class:`SiteFlowSolver` — constraint
+  matrices are built once per topology, not per class per interval.
+* Stage 2 first *triages* the site pairs in one vectorized pass
+  (:func:`~repro.core.batch.triage_ssp_batch`): a pair whose class
+  demand fits entirely into its most-preferred positive allocation — the
+  overwhelming majority in production — is resolved without touching
+  FastSSP.  Only the contended residue runs the full sequential tunnel
+  fill, dispatched through :func:`~repro.core.parallel.parallel_map` in
+  chunks.
+* Residual-capacity accounting applies the class's placed volumes
+  through the precomputed link-tunnel incidence in one
+  ``np.subtract.at`` call — entry order matches the per-tunnel
+  bookkeeping it replaces, so the update is bit-identical.
+
+Both second-stage modes (``"batched"`` and the reference ``"serial"``)
+produce identical assignments; ``TEResult.stats["phase_s"]`` carries the
+per-phase timing breakdown.
 """
 
 from __future__ import annotations
@@ -25,11 +43,12 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from .batch import BatchSSPInstance, triage_ssp_batch
 from .fastssp import fast_ssp
 from .formulation import MaxAllFlowProblem
 from .parallel import parallel_map
 from .qos import PRIORITY_ORDER, QoSClass
-from .siteflow import solve_max_site_flow
+from .siteflow import SiteFlowSolver
 from .types import FlowAssignment, SiteAllocation, TEResult, UNASSIGNED
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
@@ -37,6 +56,15 @@ if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
     from ..traffic.demand import DemandMatrix
 
 __all__ = ["MegaTEOptimizer"]
+
+#: Keys of the per-phase timing breakdown in ``TEResult.stats["phase_s"]``.
+PHASE_KEYS = (
+    "matrix_build",
+    "lp_solve",
+    "triage",
+    "contended_ssp",
+    "residual_update",
+)
 
 
 @dataclass
@@ -48,13 +76,45 @@ class _PairOutcome:
     placed_per_tunnel: np.ndarray  # volume placed per tunnel
 
 
+def _first_positive_columns(
+    alloc_flat: np.ndarray,
+    ordered_cols: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Per pair, the flat column of its first positive-allocation tunnel.
+
+    "First" is in fill order (``ordered_cols`` lists each pair's flat
+    variable indices in that order).  Returns -1 for pairs whose tunnels
+    all received a zero allocation (or that have no tunnels).  One
+    vectorized pass: a masked position array reduced per pair segment.
+    """
+    num_pairs = offsets.size - 1
+    num_vars = alloc_flat.size
+    first_cols = np.full(num_pairs, -1, dtype=np.int64)
+    if num_vars == 0 or num_pairs == 0:
+        return first_cols
+    alloc_ordered = alloc_flat[ordered_cols]
+    ordered_pos = np.where(
+        alloc_ordered > 0.0, np.arange(num_vars), num_vars
+    )
+    # reduceat needs in-range starts; empty trailing segments are fixed
+    # up via the counts mask below.
+    starts = np.minimum(offsets[:-1], num_vars - 1)
+    first = np.minimum.reduceat(ordered_pos, starts)
+    first[np.diff(offsets) == 0] = num_vars
+    found = first < num_vars
+    first_cols[found] = ordered_cols[first[found]]
+    return first_cols
+
+
 class MegaTEOptimizer:
     """Endpoint-granular TE via topology contraction and FastSSP.
 
     Args:
         fastssp_epsilon: Precision knob ``ε'`` of FastSSP (App. A.2).
         objective_epsilon: The ``ε`` of objective (1); ``None`` auto-scales.
-        workers: Thread count for the parallel second stage.
+        workers: Thread count for the parallel second stage; ``"auto"``
+            resolves to ``os.cpu_count()``, ``None``/0/1 run serially.
         qos_order: Priority order of QoS classes; defaults to the paper's
             class 1 → 2 → 3.
         class_tunnel_attribute: Tunnel attribute each class's allocation
@@ -64,6 +124,10 @@ class MegaTEOptimizer:
             §7's production policy: time-sensitive traffic takes the fast
             premium paths, bulk transfer is "accurately dispatched to the
             low-cost path".
+        second_stage: ``"batched"`` (default) triages uncontended site
+            pairs vectorized and runs FastSSP only on the contended
+            residue; ``"serial"`` is the reference per-pair path.  Both
+            produce identical assignments (property-tested).
     """
 
     scheme_name = "MegaTE"
@@ -79,12 +143,17 @@ class MegaTEOptimizer:
         self,
         fastssp_epsilon: float = 0.1,
         objective_epsilon: float | None = None,
-        workers: int | None = None,
+        workers: int | str | None = None,
         qos_order: tuple[QoSClass, ...] = PRIORITY_ORDER,
         class_tunnel_attribute: dict[QoSClass, str] | None = None,
+        second_stage: str = "batched",
     ) -> None:
         if not 0 < fastssp_epsilon < 1:
             raise ValueError("fastssp_epsilon must be in (0, 1)")
+        if second_stage not in ("batched", "serial"):
+            raise ValueError(
+                "second_stage must be 'batched' or 'serial'"
+            )
         self.fastssp_epsilon = fastssp_epsilon
         self.objective_epsilon = objective_epsilon
         self.workers = workers
@@ -94,6 +163,7 @@ class MegaTEOptimizer:
             if class_tunnel_attribute is None
             else class_tunnel_attribute
         )
+        self.second_stage = second_stage
 
     def solve(
         self, topology: TwoLayerTopology, demands: DemandMatrix
@@ -103,79 +173,183 @@ class MegaTEOptimizer:
         Returns:
             A :class:`TEResult` whose assignment satisfies constraints
             (1a)-(1c): no link overloaded, at most one tunnel per flow.
+            ``stats["phase_s"]`` breaks the runtime down by phase (see
+            :data:`PHASE_KEYS`).
         """
         problem = MaxAllFlowProblem(
             topology, demands, epsilon=self.objective_epsilon
         )
-        catalog = topology.catalog
         start = time.perf_counter()
+        phase = dict.fromkeys(PHASE_KEYS, 0.0)
+        t0 = start
+        solver = SiteFlowSolver.for_topology(topology)
+        phase["matrix_build"] = time.perf_counter() - t0
+        offsets = solver.tunnel_offsets
+        num_pairs = solver.num_pairs
+
         residual = problem.capacities.astype(np.float64).copy()
         assignment = FlowAssignment.rejecting_all(demands)
         combined = SiteAllocation(
             per_pair=[
-                np.zeros(len(catalog.tunnels(k)))
-                for k in range(catalog.num_pairs)
+                np.zeros(offsets[k + 1] - offsets[k])
+                for k in range(num_pairs)
             ]
         )
         satisfied = 0.0
         stage1_s = 0.0
         stage2_s = 0.0
+        num_uncontended = 0
+        num_contended = 0
         per_class_satisfied: dict[int, float] = {}
 
         for qos in self.qos_order:
-            class_demands = demands.site_demands(qos)
+            # SiteMerge: the class's per-pair (indices, volumes) slices
+            # are reused by triage, the pair solves, and the scatter.
+            per_pair_qos = [pair.for_qos(qos) for pair in demands]
+            class_demands = np.array(
+                [float(v.sum()) for _, v in per_pair_qos]
+            )
             if not np.any(class_demands > 0):
                 continue
 
             t0 = time.perf_counter()
-            class_weights = self._class_weights(problem, qos)
+            attribute = self.class_tunnel_attribute.get(qos, "weight")
             # Overridden weights (e.g. cost for bulk) get a stronger ε so
             # the LP actively steers toward preferred tunnels; throughput
             # still dominates (coefficients stay >= 0.7).
-            class_epsilon = None
-            if class_weights is not None and class_weights.size:
-                max_w = float(class_weights.max())
-                class_epsilon = 0.3 / max_w if max_w > 0 else 0.0
-            site_alloc = solve_max_site_flow(
-                problem,
+            if attribute == "weight":
+                class_weights = None
+                class_epsilon: float | None = problem.effective_epsilon
+            else:
+                class_weights = solver.tunnel_attribute(attribute)
+                class_epsilon = None
+                if class_weights.size:
+                    max_w = float(class_weights.max())
+                    class_epsilon = 0.3 / max_w if max_w > 0 else 0.0
+            alloc_flat = solver.solve_flat(
                 class_demands,
                 capacities=residual,
                 tunnel_weights=class_weights,
                 epsilon=class_epsilon,
             )
-            stage1_s += time.perf_counter() - t0
+            site_alloc = solver.split(alloc_flat)
+            dt = time.perf_counter() - t0
+            stage1_s += dt
+            phase["lp_solve"] += dt
 
-            t0 = time.perf_counter()
-            outcomes = parallel_map(
-                lambda k: self._solve_pair(
-                    k, qos, demands, catalog, site_alloc
-                ),
-                list(range(catalog.num_pairs)),
-                workers=self.workers,
-            )
-            stage2_s += time.perf_counter() - t0
+            orders, ordered_cols = solver.fill_orders(attribute)
+            placed_flat = np.zeros(solver.num_tunnel_vars)
+            contrib: dict[int, float] = {}
 
-            class_satisfied = 0.0
+            if self.second_stage == "serial":
+                t0 = time.perf_counter()
+                outcomes = parallel_map(
+                    lambda k: self._solve_pair(
+                        k,
+                        per_pair_qos[k][1],
+                        site_alloc.per_pair[k],
+                        orders[k],
+                    ),
+                    list(range(num_pairs)),
+                    workers=self.workers,
+                )
+                dt = time.perf_counter() - t0
+                stage2_s += dt
+                phase["contended_ssp"] += dt
+                num_contended += len(outcomes)
+            else:
+                # Triage: a pair whose whole class demand fits its first
+                # positive-allocation tunnel needs no FastSSP at all.
+                t0 = time.perf_counter()
+                first_cols = _first_positive_columns(
+                    alloc_flat, ordered_cols, offsets
+                )
+                batch_ks: list[int] = []
+                instances: list[BatchSSPInstance] = []
+                for k in range(num_pairs):
+                    volumes = per_pair_qos[k][1]
+                    if volumes.size == 0 or first_cols[k] < 0:
+                        # No class flows, no tunnels, or a zero
+                        # allocation everywhere: every flow stays
+                        # rejected, exactly as the serial path leaves it.
+                        continue
+                    instances.append(
+                        BatchSSPInstance(
+                            values=volumes,
+                            capacity=float(alloc_flat[first_cols[k]]),
+                            epsilon=self.fastssp_epsilon,
+                        )
+                    )
+                    batch_ks.append(k)
+                results, contended_pos = triage_ssp_batch(instances)
+                dt = time.perf_counter() - t0
+                stage2_s += dt
+                phase["triage"] += dt
+
+                # Uncontended pairs: everything rides the preferred
+                # tunnel; scatter the select-all results directly.
+                for pos, k in enumerate(batch_ks):
+                    result = results[pos]
+                    if result is None:
+                        continue
+                    idx, volumes = per_pair_qos[k]
+                    col = first_cols[k]
+                    t_local = int(col - offsets[k])
+                    assignment.per_pair[k][idx] = t_local
+                    combined.per_pair[k][t_local] += result.total
+                    placed_flat[col] += result.total
+                    contrib[k] = float(volumes.sum())
+                    num_uncontended += 1
+
+                t0 = time.perf_counter()
+                contended_ks = [batch_ks[i] for i in contended_pos]
+                outcomes = parallel_map(
+                    lambda k: self._solve_pair(
+                        k,
+                        per_pair_qos[k][1],
+                        site_alloc.per_pair[k],
+                        orders[k],
+                    ),
+                    contended_ks,
+                    workers=self.workers,
+                )
+                dt = time.perf_counter() - t0
+                stage2_s += dt
+                phase["contended_ssp"] += dt
+                num_contended += len(outcomes)
+
             for outcome in outcomes:
                 k = outcome.k
-                pair = demands.pair(k)
-                idx, volumes = pair.for_qos(qos)
+                idx, volumes = per_pair_qos[k]
                 mask = outcome.assigned_tunnel >= 0
                 assignment.per_pair[k][idx[mask]] = outcome.assigned_tunnel[
                     mask
                 ]
-                class_satisfied += float(volumes[mask].sum())
+                contrib[k] = float(volumes[mask].sum())
                 combined.per_pair[k] += outcome.placed_per_tunnel
-                # Consume residual capacity on the links each tunnel uses.
-                tunnels = catalog.tunnels(k)
-                for t_index, placed in enumerate(
+                placed_flat[offsets[k] : offsets[k + 1]] = (
                     outcome.placed_per_tunnel
-                ):
-                    if placed <= 0:
-                        continue
-                    for key in tunnels[t_index].links:
-                        residual[problem.link_index[key]] -= placed
+                )
+
+            # Accumulate in pair order so the float sum matches the
+            # reference loop bit for bit.
+            class_satisfied = 0.0
+            for k in sorted(contrib):
+                class_satisfied += contrib[k]
+
+            # Consume residual capacity on the links each tunnel uses:
+            # one unbuffered scatter-subtract through the precomputed
+            # incidence, applied in the same entry order as per-tunnel
+            # bookkeeping (hence bit-identical to it).
+            t0 = time.perf_counter()
+            np.subtract.at(
+                residual,
+                solver.incidence_rows,
+                placed_flat[solver.incidence_cols],
+            )
             np.maximum(residual, 0.0, out=residual)
+            phase["residual_update"] += time.perf_counter() - t0
+
             satisfied += class_satisfied
             per_class_satisfied[qos.value] = class_satisfied
 
@@ -192,32 +366,19 @@ class MegaTEOptimizer:
                 "stage2_ssp_s": stage2_s,
                 "fastssp_epsilon": self.fastssp_epsilon,
                 "satisfied_by_class": per_class_satisfied,
+                "phase_s": phase,
+                "second_stage": self.second_stage,
+                "num_uncontended_pairs": num_uncontended,
+                "num_contended_pairs": num_contended,
             },
         )
-
-    def _class_weights(
-        self, problem, qos: QoSClass
-    ) -> np.ndarray | None:
-        """``w_t`` override for one class, or ``None`` for the default."""
-        attribute = self.class_tunnel_attribute.get(qos, "weight")
-        if attribute == "weight":
-            return None
-        weights = np.empty(problem.num_tunnel_vars, dtype=np.float64)
-        pos = 0
-        catalog = problem.topology.catalog
-        for k in range(catalog.num_pairs):
-            for tunnel in catalog.tunnels(k):
-                weights[pos] = getattr(tunnel, attribute)
-                pos += 1
-        return weights
 
     def _solve_pair(
         self,
         k: int,
-        qos: QoSClass,
-        demands: DemandMatrix,
-        catalog,
-        site_alloc: SiteAllocation,
+        volumes: np.ndarray,
+        alloc_k: np.ndarray,
+        fill_order: np.ndarray,
     ) -> _PairOutcome:
         """MaxEndpointFlow for one site pair and class.
 
@@ -227,21 +388,14 @@ class MegaTEOptimizer:
         sequential dependency) and each subsequent tunnel chooses among
         the still-unassigned flows.
         """
-        pair = demands.pair(k)
-        _, volumes = pair.for_qos(qos)
-        tunnels = catalog.tunnels(k)
         assigned = np.full(volumes.size, UNASSIGNED, dtype=np.int32)
-        placed = np.zeros(len(tunnels), dtype=np.float64)
-        if volumes.size == 0 or not tunnels:
+        placed = np.zeros(alloc_k.size, dtype=np.float64)
+        if volumes.size == 0 or alloc_k.size == 0:
             return _PairOutcome(
                 k=k, assigned_tunnel=assigned, placed_per_tunnel=placed
             )
-        attribute = self.class_tunnel_attribute.get(qos, "weight")
-        fill_order = np.argsort(
-            [getattr(t, attribute) for t in tunnels], kind="stable"
-        )
         for t_index in fill_order:
-            capacity = site_alloc.per_pair[k][t_index]
+            capacity = alloc_k[t_index]
             if capacity <= 0:
                 continue
             free = np.flatnonzero(assigned == UNASSIGNED)
@@ -250,13 +404,13 @@ class MegaTEOptimizer:
             result = fast_ssp(
                 volumes[free], capacity, epsilon=self.fastssp_epsilon
             )
-            chosen = free[list(result.selected)]
+            chosen = free[np.asarray(result.selected, dtype=np.int64)]
             assigned[chosen] = t_index
             placed[t_index] = result.total
         # Reconciliation pass: FastSSP may leave slack on several tunnels
         # that no single remaining flow fit at the time; retry the largest
         # leftover flows against each tunnel's remaining allocation.
-        leftovers = site_alloc.per_pair[k] - placed
+        leftovers = alloc_k - placed
         free = np.flatnonzero(assigned == UNASSIGNED)
         if free.size and np.any(leftovers > 0):
             for i in free[np.argsort(-volumes[free], kind="stable")]:

@@ -35,6 +35,11 @@ from . import (
     table02,
 )
 from .common import PAPER_ENDPOINTS, Scenario, build_scenario, default_schemes
+from .interval_replay import (
+    IntervalReplayReport,
+    replay_intervals,
+    run_interval_replay,
+)
 from .production import ProductionScenario, build_production_scenario
 from .summary import CheckResult, run_all_checks
 from .sweep import SweepRecord, run_scale_sweep
@@ -62,6 +67,9 @@ __all__ = [
     "build_production_scenario",
     "SweepRecord",
     "run_scale_sweep",
+    "IntervalReplayReport",
+    "replay_intervals",
+    "run_interval_replay",
     "run_all_checks",
     "CheckResult",
 ]

@@ -1,0 +1,164 @@
+"""Control-loop replay: solve a sequence of TE intervals and profile it.
+
+The TE controller's steady state is a loop — every interval (paper §2: 5
+minutes in production) it receives a fresh demand matrix on an unchanged
+topology and re-solves.  This harness replays that loop over a
+:class:`~repro.traffic.matrices.DiurnalSequence` and aggregates the
+per-phase timing breakdown from ``TEResult.stats["phase_s"]``, so interval
+hot-path optimizations (cached LP scaffolding, second-stage triage,
+vectorized residual accounting) are observable end to end rather than per
+call.
+
+The report also carries a SHA-256 digest of every interval's flow
+assignment, which makes "two solver configurations produce bit-identical
+allocations over a whole replay" a one-line assertion — the equivalence
+contract the batched second stage is held to.
+
+Used by ``benchmarks/test_perf_interval_solve.py`` (trajectory artifact)
+and the tier-1 perf smoke / equivalence tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..core import MegaTEOptimizer
+from ..core.twostage import PHASE_KEYS
+from ..traffic import DiurnalSequence
+from .common import build_scenario
+
+__all__ = ["IntervalReplayReport", "replay_intervals", "run_interval_replay"]
+
+
+@dataclass
+class IntervalReplayReport:
+    """Aggregate outcome of an N-interval control-loop replay.
+
+    Attributes:
+        topology: Topology name the replay ran on.
+        num_intervals: Intervals solved.
+        num_flows: Endpoint pairs per interval (constant across the
+            sequence — only volumes fluctuate).
+        stage1_lp_s: Summed first-stage (MaxSiteFlow) seconds.
+        stage2_ssp_s: Summed second-stage (MaxEndpointFlow) seconds.
+        total_runtime_s: Summed end-to-end ``TEResult.runtime_s``.
+        phase_s: Summed per-phase breakdown (keys of
+            :data:`repro.core.twostage.PHASE_KEYS`).
+        satisfied_volume: Summed satisfied demand across intervals.
+        num_uncontended_pairs: Site-pair solves resolved by triage alone.
+        num_contended_pairs: Site-pair solves that ran full FastSSP.
+        assignment_digest: SHA-256 over every interval's per-pair
+            assignment arrays, in interval order — equal digests mean
+            bit-identical allocations.
+    """
+
+    topology: str
+    num_intervals: int
+    num_flows: int
+    stage1_lp_s: float = 0.0
+    stage2_ssp_s: float = 0.0
+    total_runtime_s: float = 0.0
+    phase_s: dict[str, float] = field(
+        default_factory=lambda: dict.fromkeys(PHASE_KEYS, 0.0)
+    )
+    satisfied_volume: float = 0.0
+    num_uncontended_pairs: int = 0
+    num_contended_pairs: int = 0
+    assignment_digest: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-serializable view for benchmark artifacts."""
+        return {
+            "topology": self.topology,
+            "num_intervals": self.num_intervals,
+            "num_flows": self.num_flows,
+            "stage1_lp_s": self.stage1_lp_s,
+            "stage2_ssp_s": self.stage2_ssp_s,
+            "total_runtime_s": self.total_runtime_s,
+            "phase_s": dict(self.phase_s),
+            "satisfied_volume": self.satisfied_volume,
+            "num_uncontended_pairs": self.num_uncontended_pairs,
+            "num_contended_pairs": self.num_contended_pairs,
+            "assignment_digest": self.assignment_digest,
+        }
+
+
+def replay_intervals(
+    topology,
+    sequence: DiurnalSequence,
+    num_intervals: int,
+    optimizer: MegaTEOptimizer | None = None,
+    topology_name: str = "",
+) -> IntervalReplayReport:
+    """Solve ``num_intervals`` consecutive matrices of ``sequence``.
+
+    Args:
+        topology: Contracted two-layer topology (held fixed, as in the
+            production loop — this is what makes the per-topology solver
+            cache pay off).
+        sequence: Demand-matrix sequence; interval ``i`` uses
+            ``sequence.matrix(i)``.
+        num_intervals: Intervals to replay.
+        optimizer: Solver to drive; a default :class:`MegaTEOptimizer`
+            when omitted.
+        topology_name: Label recorded in the report.
+    """
+    if num_intervals <= 0:
+        raise ValueError("num_intervals must be positive")
+    if optimizer is None:
+        optimizer = MegaTEOptimizer()
+    digest = hashlib.sha256()
+    report = IntervalReplayReport(
+        topology=topology_name,
+        num_intervals=num_intervals,
+        num_flows=sequence.base.num_endpoint_pairs,
+    )
+    for interval in range(num_intervals):
+        result = optimizer.solve(topology, sequence.matrix(interval))
+        stats = result.stats
+        report.stage1_lp_s += stats["stage1_lp_s"]
+        report.stage2_ssp_s += stats["stage2_ssp_s"]
+        report.total_runtime_s += result.runtime_s
+        for key, seconds in stats["phase_s"].items():
+            report.phase_s[key] = report.phase_s.get(key, 0.0) + seconds
+        report.satisfied_volume += result.satisfied_volume
+        report.num_uncontended_pairs += stats["num_uncontended_pairs"]
+        report.num_contended_pairs += stats["num_contended_pairs"]
+        for arr in result.assignment.per_pair:
+            digest.update(arr.tobytes())
+    report.assignment_digest = digest.hexdigest()
+    return report
+
+
+def run_interval_replay(
+    topology_name: str = "twan",
+    total_endpoints: int = 20_000,
+    num_site_pairs: int = 60,
+    target_load: float = 1.0,
+    seed: int = 42,
+    sequence_seed: int = 5,
+    num_intervals: int = 10,
+    optimizer: MegaTEOptimizer | None = None,
+) -> IntervalReplayReport:
+    """Build the standard replay scenario and run it.
+
+    Defaults reproduce the benchmark configuration: the 100-site TWAN
+    topology with the default synthetic trace, diurnally modulated over
+    ten intervals.
+    """
+    scenario = build_scenario(
+        topology_name,
+        total_endpoints=total_endpoints,
+        num_site_pairs=num_site_pairs,
+        target_load=target_load,
+        seed=seed,
+    )
+    sequence = DiurnalSequence(base=scenario.demands, seed=sequence_seed)
+    return replay_intervals(
+        scenario.topology,
+        sequence,
+        num_intervals,
+        optimizer=optimizer,
+        topology_name=topology_name,
+    )

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import BatchSSPInstance, MegaTEOptimizer, fast_ssp, solve_ssp_batch
+from repro.core import (
+    BatchSSPInstance,
+    MegaTEOptimizer,
+    fast_ssp,
+    solve_ssp_batch,
+    triage_ssp_batch,
+)
 from repro.simulation import replay_assignment
 from repro.simulation.flowsim import simulate
 
@@ -74,6 +80,148 @@ class TestBatchSSP:
             )
             assert result.selected == single.selected
             assert result.total == pytest.approx(single.total)
+
+
+class TestTriage:
+    """The vectorized fast-path pass behind the batched second stage."""
+
+    def test_classification(self):
+        results, contended = triage_ssp_batch(
+            [
+                BatchSSPInstance(values=np.array([]), capacity=5.0),
+                BatchSSPInstance(values=np.array([1.0]), capacity=0.0),
+                BatchSSPInstance(values=np.array([2.0]), capacity=-1.0),
+                BatchSSPInstance(
+                    values=np.array([1.0, 2.0]), capacity=10.0
+                ),
+                BatchSSPInstance(
+                    values=np.array([5.0, 5.0, 5.0]), capacity=7.0
+                ),
+            ]
+        )
+        assert [r is None for r in results] == [
+            False,
+            False,
+            False,
+            False,
+            True,
+        ]
+        assert contended.tolist() == [4]
+        # Everything-fits instance selects all demands.
+        assert results[3].selected == (0, 1)
+        assert results[3].total == 3.0
+        # Trivial instances select nothing.
+        assert results[0].total == results[1].total == 0.0
+
+    def test_fast_paths_bit_identical_to_fast_ssp(self):
+        instances = [
+            BatchSSPInstance(values=np.array([]), capacity=3.0),
+            BatchSSPInstance(values=np.array([0.5, 1.5]), capacity=0.0),
+            BatchSSPInstance(
+                values=np.array([0.1, 0.2, 0.3]), capacity=0.6000000000000001
+            ),
+        ]
+        results, contended = triage_ssp_batch(instances)
+        assert contended.size == 0
+        for inst, result in zip(instances, results):
+            single = fast_ssp(inst.values, inst.capacity)
+            assert result == single  # frozen dataclass: full field equality
+
+    def test_empty_batch(self):
+        results, contended = triage_ssp_batch([])
+        assert results == []
+        assert contended.size == 0
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.lists(
+                    st.floats(0.0, 20.0, allow_nan=False),
+                    min_size=0,
+                    max_size=20,
+                ),
+                st.floats(-1.0, 60.0),
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_triage_never_mislabels(self, data):
+        """Fast-path results equal fast_ssp; contended covers the rest."""
+        instances = [
+            BatchSSPInstance(
+                values=np.array(values, dtype=np.float64),
+                capacity=capacity,
+            )
+            for values, capacity in data
+        ]
+        results, contended = triage_ssp_batch(instances)
+        contended_set = set(contended.tolist())
+        for idx, (inst, result) in enumerate(zip(instances, results)):
+            if idx in contended_set:
+                assert result is None
+            else:
+                single = fast_ssp(
+                    np.asarray(inst.values, dtype=np.float64),
+                    inst.capacity,
+                )
+                assert result.selected == single.selected
+                assert result.total == single.total
+                assert result.capacity == single.capacity
+
+
+class TestBatchedSecondStage:
+    """The batched path is a bit-identical drop-in for the serial one."""
+
+    @pytest.fixture(scope="class")
+    def twan_replay(self):
+        from repro.experiments.common import build_scenario
+        from repro.traffic import DiurnalSequence
+
+        scenario = build_scenario(
+            "twan",
+            total_endpoints=2_000,
+            num_site_pairs=20,
+            target_load=1.0,
+            seed=7,
+        )
+        sequence = DiurnalSequence(base=scenario.demands, seed=11)
+        return scenario, sequence
+
+    def test_assignment_matches_serial_path(self, twan_replay):
+        scenario, sequence = twan_replay
+        batched = MegaTEOptimizer(second_stage="batched")
+        serial = MegaTEOptimizer(second_stage="serial")
+        for interval in range(3):
+            demands = sequence.matrix(interval)
+            rb = batched.solve(scenario.topology, demands)
+            rs = serial.solve(scenario.topology, demands)
+            for pb, ps in zip(
+                rb.assignment.per_pair, rs.assignment.per_pair
+            ):
+                np.testing.assert_array_equal(pb, ps)
+            assert rb.satisfied_volume == rs.satisfied_volume
+            assert (
+                rb.stats["satisfied_by_class"]
+                == rs.stats["satisfied_by_class"]
+            )
+            for cb, cs in zip(
+                rb.site_allocation.per_pair, rs.site_allocation.per_pair
+            ):
+                np.testing.assert_array_equal(cb, cs)
+
+    def test_triage_actually_fires(self, twan_replay):
+        scenario, sequence = twan_replay
+        result = MegaTEOptimizer().solve(
+            scenario.topology, sequence.matrix(0)
+        )
+        assert result.stats["second_stage"] == "batched"
+        assert result.stats["num_uncontended_pairs"] > 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="second_stage"):
+            MegaTEOptimizer(second_stage="gpu")
 
 
 class TestReplay:

@@ -1,0 +1,73 @@
+"""Perf smoke test: the interval hot path stays instrumented and fast.
+
+Run just these with ``pytest -m perf``.  The wall-clock bound is
+deliberately generous (an order of magnitude above typical) — it exists
+to catch catastrophic hot-path regressions in tier-1, not to measure;
+real measurement lives in ``benchmarks/test_perf_interval_solve.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MegaTEOptimizer
+from repro.core.twostage import PHASE_KEYS
+from repro.experiments import run_interval_replay
+
+pytestmark = pytest.mark.perf
+
+#: Small scenario: 100-site TWAN, modest trace, three intervals.
+SMOKE_CONFIG = dict(
+    topology_name="twan",
+    total_endpoints=2_000,
+    num_site_pairs=20,
+    target_load=1.0,
+    seed=7,
+    sequence_seed=11,
+    num_intervals=3,
+)
+
+#: Generous bound — the replay typically takes well under a second.
+WALL_CLOCK_BOUND_S = 30.0
+
+
+def test_interval_replay_smoke():
+    report = run_interval_replay(
+        optimizer=MegaTEOptimizer(second_stage="batched", workers="auto"),
+        **SMOKE_CONFIG,
+    )
+    assert report.num_intervals == SMOKE_CONFIG["num_intervals"]
+    assert report.total_runtime_s < WALL_CLOCK_BOUND_S
+    assert report.satisfied_volume > 0
+    assert len(report.assignment_digest) == 64
+
+
+def test_timing_breakdown_keys_present():
+    report = run_interval_replay(optimizer=MegaTEOptimizer(), **SMOKE_CONFIG)
+    assert set(report.phase_s) == set(PHASE_KEYS)
+    assert all(seconds >= 0.0 for seconds in report.phase_s.values())
+    # The phase breakdown accounts for the bulk of stage 1 + stage 2.
+    assert report.stage1_lp_s > 0
+    assert report.stage2_ssp_s >= 0
+
+
+def test_result_stats_contract():
+    """The stats keys downstream benchmarks read are all present."""
+    from repro.experiments.common import build_scenario
+
+    scenario = build_scenario(
+        "twan", total_endpoints=1_000, num_site_pairs=10, seed=3
+    )
+    result = MegaTEOptimizer().solve(scenario.topology, scenario.demands)
+    for key in (
+        "stage1_lp_s",
+        "stage2_ssp_s",
+        "fastssp_epsilon",
+        "satisfied_by_class",
+        "phase_s",
+        "second_stage",
+        "num_uncontended_pairs",
+        "num_contended_pairs",
+    ):
+        assert key in result.stats, key
+    assert set(result.stats["phase_s"]) == set(PHASE_KEYS)
