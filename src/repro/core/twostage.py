@@ -97,11 +97,18 @@ def _first_positive_columns(
     ordered_pos = np.where(
         alloc_ordered > 0.0, np.arange(num_vars), num_vars
     )
-    # reduceat needs in-range starts; empty trailing segments are fixed
-    # up via the counts mask below.
-    starts = np.minimum(offsets[:-1], num_vars - 1)
-    first = np.minimum.reduceat(ordered_pos, starts)
-    first[np.diff(offsets) == 0] = num_vars
+    # reduceat over the non-empty pairs only: their offsets are strictly
+    # increasing and in range, and because empty pairs span no positions
+    # each segment covers exactly one pair's tunnels.  (Clamping all
+    # starts instead would truncate the last non-empty pair's segment
+    # when trailing pairs — e.g. all-tunnels-dead pairs from a failure
+    # scenario — are empty.)  Empty pairs keep the sentinel.
+    nonempty = np.flatnonzero(np.diff(offsets) > 0)
+    first = np.full(num_pairs, num_vars, dtype=np.int64)
+    if nonempty.size:
+        first[nonempty] = np.minimum.reduceat(
+            ordered_pos, offsets[nonempty]
+        )
     found = first < num_vars
     first_cols[found] = ordered_cols[first[found]]
     return first_cols

@@ -211,6 +211,54 @@ class TestBatchedSecondStage:
             ):
                 np.testing.assert_array_equal(cb, cs)
 
+    def test_matches_serial_with_trailing_empty_pairs(self):
+        """Failure scenarios keep all-tunnels-dead pairs as empty tunnel
+        lists (``TunnelCatalog.restricted_to_network``).  The triage must
+        still see the last non-empty pair's full tunnel segment — in
+        particular when its only positive LP allocation lands on its
+        *last* fill-order tunnel, which here is forced by letting class 1
+        exhaust the preferred direct link before class 2 is solved."""
+        from repro.topology import SiteNetwork, TwoLayerTopology, build_tunnels
+        from repro.topology.endpoints import EndpointLayout
+        from repro.traffic import DemandMatrix
+
+        from conftest import make_pair_demands
+
+        net = SiteNetwork(name="trailing-empty")
+        net.add_duplex_link("a", "b", capacity=10.0, latency_ms=5.0)
+        net.add_duplex_link("a", "r", capacity=100.0, latency_ms=10.0)
+        net.add_duplex_link("r", "b", capacity=100.0, latency_ms=10.0)
+        net.add_duplex_link("c", "d", capacity=10.0, latency_ms=5.0)
+        catalog = build_tunnels(
+            net, site_pairs=[("a", "b"), ("c", "d")], tunnels_per_pair=2
+        )
+        layout = EndpointLayout({"a": 4, "b": 4, "c": 2, "d": 2, "r": 0})
+        topology = TwoLayerTopology(
+            network=net, catalog=catalog, layout=layout
+        ).with_failures([("c", "d")])
+        assert topology.catalog.tunnels(1) == []  # trailing pair is dead
+
+        demands = DemandMatrix(
+            [
+                make_pair_demands([10.0, 3.0, 2.0], qos=[1, 2, 2]),
+                make_pair_demands([1.0], qos=[2]),
+            ]
+        )
+        rb = MegaTEOptimizer(second_stage="batched").solve(
+            topology, demands
+        )
+        rs = MegaTEOptimizer(second_stage="serial").solve(
+            topology, demands
+        )
+        # The scenario genuinely exercises the hazard: the serial path
+        # places the class-2 flows on the non-preferred long tunnel.
+        np.testing.assert_array_equal(
+            rs.assignment.per_pair[0], np.array([0, 1, 1])
+        )
+        for pb, ps in zip(rb.assignment.per_pair, rs.assignment.per_pair):
+            np.testing.assert_array_equal(pb, ps)
+        assert rb.satisfied_volume == rs.satisfied_volume
+
     def test_triage_actually_fires(self, twan_replay):
         scenario, sequence = twan_replay
         result = MegaTEOptimizer().solve(

@@ -176,3 +176,81 @@ class TestScaling:
         megate = MegaTEOptimizer().solve(b4_topology, demands)
         lp_all = LPAllTE().solve(b4_topology, demands)
         assert megate.runtime_s < lp_all.runtime_s
+
+
+class TestFirstPositiveColumns:
+    """The triage's per-pair first-positive-tunnel scan.
+
+    Regression coverage for segment handling around empty pairs —
+    failure-scenario catalogs (``TunnelCatalog.restricted_to_network``)
+    keep all-tunnels-dead pairs with zero tunnels, so the offsets array
+    routinely contains empty (and in particular *trailing* empty)
+    segments.
+    """
+
+    @staticmethod
+    def _run(alloc, ordered_cols, offsets):
+        from repro.core.twostage import _first_positive_columns
+
+        return _first_positive_columns(
+            np.asarray(alloc, dtype=np.float64),
+            np.asarray(ordered_cols, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64),
+        ).tolist()
+
+    @staticmethod
+    def _reference(alloc, ordered_cols, offsets):
+        """Naive per-pair scan the vectorized version must match."""
+        out = []
+        for k in range(len(offsets) - 1):
+            col = -1
+            for pos in range(offsets[k], offsets[k + 1]):
+                if alloc[ordered_cols[pos]] > 0.0:
+                    col = ordered_cols[pos]
+                    break
+            out.append(col)
+        return out
+
+    def test_trailing_empty_pair_keeps_last_position(self):
+        """Reviewer repro: the last non-empty pair's only positive
+        allocation sits on its final fill-order tunnel."""
+        assert self._run([0.0, 0.0, 5.0], [0, 1, 2], [0, 3, 3]) == [2, -1]
+
+    def test_trailing_empty_pair_two_tunnels(self):
+        assert self._run([0.0, 4.0], [0, 1], [0, 2, 2]) == [1, -1]
+
+    def test_leading_and_interleaved_empty_pairs(self):
+        assert self._run([0.0, 3.0], [0, 1], [0, 0, 2]) == [-1, 1]
+        assert self._run(
+            [0.0, 1.0, 0.0, 0.0, 2.0], [0, 1, 2, 3, 4], [0, 2, 2, 5]
+        ) == [1, -1, 4]
+
+    def test_fill_order_differs_from_column_order(self):
+        # Fill order visits col 2, then 0, then 1; only col 1 is positive.
+        assert self._run([0.0, 7.0, 0.0], [2, 0, 1], [0, 3]) == [1]
+
+    def test_all_zero_and_degenerate(self):
+        assert self._run([0.0, 0.0], [0, 1], [0, 2]) == [-1]
+        assert self._run([], [], [0]) == []
+        assert self._run([], [], [0, 0, 0]) == [-1, -1]
+
+    def test_matches_reference_on_random_layouts(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            num_pairs = int(rng.integers(1, 8))
+            counts = rng.integers(0, 4, size=num_pairs)
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            num_vars = int(offsets[-1])
+            # Sparse positives so zero-everywhere pairs are common.
+            alloc = np.where(
+                rng.random(num_vars) < 0.4, rng.uniform(0.1, 5, num_vars), 0.0
+            )
+            ordered_cols = np.concatenate(
+                [
+                    offsets[k] + rng.permutation(counts[k])
+                    for k in range(num_pairs)
+                ]
+            ).astype(np.int64) if num_vars else np.array([], dtype=np.int64)
+            assert self._run(alloc, ordered_cols, offsets) == self._reference(
+                alloc, ordered_cols, offsets
+            )
