@@ -10,15 +10,25 @@ trajectory is trackable across PRs.
 The equivalence contract is asserted here too: both paths must produce
 bit-identical flow assignments over the whole replay (SHA-256 digest of
 every interval's assignment arrays).
+
+The artifact also carries the *realization* phases — flow simulation,
+congestion-aware latency, and collector ``build_matrix`` over the same
+replay — with the pre-columnar (per-pair Python loop) baseline embedded,
+so the CSR-layout speedup is tracked alongside the solver trajectory.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
-from repro.core import MegaTEOptimizer
+from repro.controlplane import DemandCollector, FlowRecord
+from repro.core import MegaTEOptimizer, QoSClass
 from repro.experiments import run_interval_replay
+from repro.experiments.common import build_scenario
+from repro.simulation import compute_flow_latencies, simulate
+from repro.traffic import DiurnalSequence
 
 from conftest import run_once
 
@@ -33,6 +43,80 @@ REPLAY_CONFIG = dict(
     sequence_seed=5,
     num_intervals=10,
 )
+
+#: Pre-columnar realization timings on this replay config (seconds,
+#: summed over the 10 intervals; measured on the per-pair Python-loop
+#: implementations immediately before the CSR refactor).
+PRE_COLUMNAR_BASELINE_S = {
+    "flowsim": 0.0445,
+    "latency": 0.0338,
+    "flowsim_plus_latency": 0.0786,
+    "collect_build_matrix": 0.47,
+}
+
+
+def _time_realization() -> dict[str, float]:
+    """Time the realization phases over the standard replay.
+
+    Solves the same ten intervals as the replay benchmark, then times
+    flow simulation and congestion-aware latency per interval, plus one
+    collector ``build_matrix`` over a full interval's worth of reports.
+    """
+    cfg = REPLAY_CONFIG
+    scenario = build_scenario(
+        cfg["topology_name"],
+        total_endpoints=cfg["total_endpoints"],
+        num_site_pairs=cfg["num_site_pairs"],
+        target_load=cfg["target_load"],
+        seed=cfg["seed"],
+    )
+    sequence = DiurnalSequence(
+        base=scenario.demands, seed=cfg["sequence_seed"]
+    )
+    optimizer = MegaTEOptimizer(second_stage="batched")
+    results = [
+        optimizer.solve(scenario.topology, sequence.matrix(i))
+        for i in range(cfg["num_intervals"])
+    ]
+
+    flowsim_s = latency_s = 0.0
+    for result in results:
+        t0 = time.perf_counter()
+        simulate(scenario.topology, result)
+        flowsim_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        compute_flow_latencies(
+            scenario.topology, result, metric="ms", congestion_aware=True
+        )
+        latency_s += time.perf_counter() - t0
+
+    # One interval's worth of agent reports through the collector.
+    collector = DemandCollector(scenario.topology, interval_seconds=300.0)
+    by_value = {q.value: q for q in QoSClass}
+    for pair in scenario.demands:
+        if pair.src_endpoints is None:
+            continue
+        for i in range(pair.num_pairs):
+            collector.ingest(
+                FlowRecord(
+                    src_endpoint=int(pair.src_endpoints[i]),
+                    dst_endpoint=int(pair.dst_endpoints[i]),
+                    bytes_sent=int(
+                        pair.volumes[i] * 300.0 / 8.0 * 1e9
+                    ),
+                    qos=by_value[int(pair.qos[i])],
+                )
+            )
+    t0 = time.perf_counter()
+    collector.build_matrix()
+    collect_s = time.perf_counter() - t0
+
+    return {
+        "flowsim": flowsim_s,
+        "latency": latency_s,
+        "flowsim_plus_latency": flowsim_s + latency_s,
+        "collect_build_matrix": collect_s,
+    }
 
 
 def test_interval_solve_breakdown(benchmark):
@@ -70,6 +154,20 @@ def test_interval_solve_breakdown(benchmark):
     for phase, seconds in batched.phase_s.items():
         print(f"  phase {phase:<16s} {seconds * 1e3:8.1f} ms")
 
+    realization = _time_realization()
+    for phase, seconds in realization.items():
+        base = PRE_COLUMNAR_BASELINE_S[phase]
+        print(
+            f"  realize {phase:<22s} {seconds * 1e3:8.1f} ms "
+            f"(pre-columnar {base * 1e3:.1f} ms)"
+        )
+    # The CSR refactor's acceptance bar: flow simulation + latency at
+    # least 25% faster than the per-pair loops they replaced.
+    assert (
+        realization["flowsim_plus_latency"]
+        <= 0.75 * PRE_COLUMNAR_BASELINE_S["flowsim_plus_latency"]
+    )
+
     payload = {
         "config": REPLAY_CONFIG,
         "batched": batched.as_dict(),
@@ -77,6 +175,8 @@ def test_interval_solve_breakdown(benchmark):
         "batched_over_serial_solver_time": (
             solver_s / serial_solver_s if serial_solver_s > 0 else None
         ),
+        "realization_s": realization,
+        "realization_baseline_pre_columnar_s": PRE_COLUMNAR_BASELINE_S,
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {ARTIFACT.name}")

@@ -14,13 +14,14 @@ the interval into Gbps demands, and tags each pair with its QoS class
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.flowtable import FlowTable, csr_offsets
 from ..core.qos import QoSClass
-from ..traffic.demand import DemandMatrix, PairDemands
+from ..traffic.demand import DemandMatrix
 
 if TYPE_CHECKING:
     from ..topology.contraction import TwoLayerTopology
@@ -71,7 +72,10 @@ class DemandCollector:
             raise ValueError("interval must be positive")
         self.topology = topology
         self.interval_seconds = interval_seconds
-        # (src_ep, dst_ep) -> [bytes, qos value]
+        # (src_ep, dst_ep) -> [bytes, qos value, site-pair index k].
+        # The site-pair index is resolved once at ingest (the layout is
+        # static within an interval), so build_matrix never re-walks the
+        # endpoint -> site mapping.
         self._flows: dict[tuple[int, int], list] = {}
         self.unroutable_bytes = 0
 
@@ -83,9 +87,13 @@ class DemandCollector:
             self.unroutable_bytes += record.bytes_sent
             return
         key = (record.src_endpoint, record.dst_endpoint)
-        entry = self._flows.setdefault(key, [0, record.qos.value])
-        entry[0] += record.bytes_sent
-        entry[1] = record.qos.value  # latest registration wins
+        entry = self._flows.get(key)
+        if entry is None:
+            k = self.topology.catalog.pair_index(src_site, dst_site)
+            self._flows[key] = [record.bytes_sent, record.qos.value, k]
+        else:
+            entry[0] += record.bytes_sent
+            entry[1] = record.qos.value  # latest registration wins
 
     def ingest_host_report(
         self,
@@ -124,39 +132,45 @@ class DemandCollector:
         Byte counts convert to Gbps:
         ``bytes * 8 / interval_seconds / 1e9``.
 
+        The matrix is emitted columnar — the accumulated records are
+        flattened into one :class:`~repro.core.flowtable.FlowTable`
+        directly, with no per-pair rebuild — and **deterministically
+        ordered**: flows are sorted by ``(site pair, src endpoint,
+        dst endpoint)``, so the same set of reports yields the same
+        matrix regardless of ingest order.
+
         Args:
             clear: Reset the accumulator for the next interval.
         """
         catalog = self.topology.catalog
-        layout = self.topology.layout
-        buckets: dict[int, list] = {
-            k: [] for k in range(catalog.num_pairs)
-        }
-        for (src, dst), (byte_count, qos_value) in self._flows.items():
-            k = catalog.pair_index(
-                layout.site_of(src), layout.site_of(dst)
-            )
-            gbps = byte_count * 8.0 / self.interval_seconds / 1e9
-            buckets[k].append((src, dst, gbps, qos_value))
+        num_pairs = catalog.num_pairs
+        n = len(self._flows)
+        src = np.empty(n, dtype=np.int64)
+        dst = np.empty(n, dtype=np.int64)
+        byte_counts = np.empty(n, dtype=np.float64)
+        qos = np.empty(n, dtype=np.int8)
+        ks = np.empty(n, dtype=np.int64)
+        for i, ((s, d), entry) in enumerate(self._flows.items()):
+            src[i] = s
+            dst[i] = d
+            byte_counts[i] = entry[0]
+            qos[i] = entry[1]
+            ks[i] = entry[2]
 
-        per_pair = []
-        for k in range(catalog.num_pairs):
-            rows = buckets[k]
-            if not rows:
-                per_pair.append(PairDemands.empty())
-                continue
-            per_pair.append(
-                PairDemands(
-                    volumes=np.array([r[2] for r in rows]),
-                    qos=np.array([r[3] for r in rows], dtype=np.int8),
-                    src_endpoints=np.array(
-                        [r[0] for r in rows], dtype=np.int64
-                    ),
-                    dst_endpoints=np.array(
-                        [r[1] for r in rows], dtype=np.int64
-                    ),
-                )
-            )
+        # Canonical order: (k, src, dst) — determinism regardless of the
+        # order agents reported in.  lexsort's last key is primary.
+        order = np.lexsort((dst, src, ks))
+        ks = ks[order]
+        volumes = byte_counts[order] * 8.0 / self.interval_seconds / 1e9
+        counts = np.bincount(ks, minlength=num_pairs)
+        table = FlowTable(
+            csr_offsets(counts),
+            volumes,
+            qos[order],
+            src[order],
+            dst[order],
+            has_endpoints=counts > 0,
+        )
         if clear:
             self._flows.clear()
-        return DemandMatrix(per_pair)
+        return DemandMatrix.from_table(table)

@@ -8,7 +8,7 @@ under an incremented version, and lets agents pull at their own pace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -108,16 +108,24 @@ class TEController:
         catalog = topology.catalog
         next_version = self.current_version + 1
         per_endpoint: dict[int, dict[int, tuple[str, ...]]] = {}
-        for k, pair in enumerate(result.demands):
-            if pair.src_endpoints is None or pair.dst_endpoints is None:
-                continue
-            assigned = result.assignment.per_pair[k]
-            tunnels = catalog.tunnels(k)
-            for i in np.flatnonzero(assigned >= 0):
-                tunnel = tunnels[int(assigned[i])]
-                src = int(pair.src_endpoints[i])
-                dst = int(pair.dst_endpoints[i])
-                per_endpoint.setdefault(src, {})[dst] = tunnel.path
+        # One pass over the flat assignment: flows with a tunnel whose
+        # pair carries endpoint ids, in ascending flow order (pair-major,
+        # matching the legacy per-pair iteration).
+        table = result.demands.table
+        assigned = result.assignment.assigned_tunnel
+        pair_of_flow = table.pair_ids()
+        publishable = (assigned >= 0) & table.has_endpoints[pair_of_flow]
+        paths_of: dict[int, list[tuple[str, ...]]] = {}
+        for i in np.flatnonzero(publishable):
+            k = int(pair_of_flow[i])
+            paths = paths_of.get(k)
+            if paths is None:
+                paths = paths_of[k] = [
+                    t.path for t in catalog.tunnels(k)
+                ]
+            src = int(table.src_endpoints[i])
+            dst = int(table.dst_endpoints[i])
+            per_endpoint.setdefault(src, {})[dst] = paths[int(assigned[i])]
         writes = 0
         for endpoint_id, paths in per_endpoint.items():
             if (

@@ -13,7 +13,7 @@ cheap "is there anything new?" check of the bottom-up control loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable
 
 __all__ = ["ShardStats", "TEDatabase", "QueryRejected"]

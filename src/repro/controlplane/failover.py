@@ -20,11 +20,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..simulation.failures import surviving_volume
-from .consistency import spread_offsets
 from .hybrid import HybridPlan
 
 if TYPE_CHECKING:
-    from ..core.types import TEResult
     from ..topology.contraction import TwoLayerTopology
     from ..topology.failures import FailureScenario
     from ..traffic.demand import DemandMatrix

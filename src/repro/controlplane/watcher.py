@@ -20,7 +20,7 @@ first term of the outage timeline measured by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 __all__ = ["LinkEvent", "LinkStateMonitor"]

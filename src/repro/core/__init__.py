@@ -1,8 +1,14 @@
 """MegaTE's core contribution: the contracted two-stage TE optimization."""
 
-from .batch import BatchSSPInstance, solve_ssp_batch, triage_ssp_batch
+from .batch import (
+    BatchSSPInstance,
+    solve_ssp_batch,
+    triage_ssp_batch,
+    triage_ssp_segments,
+)
 from .exact import ExactSolution, solve_max_all_flow
 from .fastssp import FastSSPResult, fast_ssp
+from .flowtable import FlowTable, PairViews, csr_offsets, pair_views
 from .formulation import MaxAllFlowProblem
 from .parallel import parallel_map, resolve_workers
 from .qos import PRIORITY_ORDER, QoSClass
@@ -49,6 +55,11 @@ __all__ = [
     "BatchSSPInstance",
     "solve_ssp_batch",
     "triage_ssp_batch",
+    "triage_ssp_segments",
+    "FlowTable",
+    "PairViews",
+    "csr_offsets",
+    "pair_views",
     "SiteFlowSolver",
     "resolve_workers",
 ]

@@ -27,7 +27,12 @@ import numpy as np
 
 from .fastssp import FastSSPResult, fast_ssp
 
-__all__ = ["BatchSSPInstance", "solve_ssp_batch", "triage_ssp_batch"]
+__all__ = [
+    "BatchSSPInstance",
+    "solve_ssp_batch",
+    "triage_ssp_batch",
+    "triage_ssp_segments",
+]
 
 
 @dataclass(frozen=True)
@@ -117,6 +122,37 @@ def triage_ssp_batch(
         )
     contended = np.flatnonzero(~trivial & ~fits)
     return results, contended
+
+
+def triage_ssp_segments(
+    totals: np.ndarray,
+    capacities: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Triage CSR-segment SSP instances without materializing objects.
+
+    The columnar twin of :func:`triage_ssp_batch`: the caller owns a CSR
+    layout (flat class volumes sliced by segment bounds) and supplies the
+    per-instance demand totals and target capacities directly — no
+    :class:`BatchSSPInstance` list is built.  Instances are assumed
+    non-trivial (non-empty values, positive capacity), which is what the
+    optimizer's candidate pre-filter guarantees; the classification is
+    then a single vectorized comparison.
+
+    Args:
+        totals: Per-instance demand total (``Σ values``), computed by the
+            caller — typically the already-available ``SiteMerge`` sums,
+            so classification is bit-identical to summing per instance.
+        capacities: Per-instance allocation to fill (all positive).
+
+    Returns:
+        ``(fits, contended)`` index arrays into the instance list:
+        ``fits`` instances select everything (total fits the capacity),
+        ``contended`` ones need a full FastSSP solve.
+    """
+    totals = np.asarray(totals, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    fits_mask = totals <= capacities
+    return np.flatnonzero(fits_mask), np.flatnonzero(~fits_mask)
 
 
 def solve_ssp_batch(

@@ -1,0 +1,282 @@
+"""CSR-style columnar flow tables — the repo's canonical data layout.
+
+MegaTE's defining constraint is endpoint granularity at millions of flows,
+so per-flow state must be processable in bulk.  This module provides the
+compressed-sparse-row layout every layer shares: one flat array per column
+(``volumes``, ``qos``, ``src_endpoints``, ``dst_endpoints``,
+``assigned_tunnel``) plus an ``offsets`` array such that site pair ``k``'s
+flows occupy ``offsets[k]:offsets[k + 1]`` of every column.
+
+Invariants:
+
+* ``offsets`` is int64, non-decreasing, ``offsets[0] == 0`` and
+  ``offsets[-1] == num_flows``; there is one segment per site pair, in
+  catalog order.
+* Column dtypes are fixed: ``volumes`` float64, ``qos`` int8,
+  ``src_endpoints``/``dst_endpoints`` int64, ``assigned_tunnel`` int32.
+* Per-pair access is *zero-copy*: a pair's view is a NumPy slice of the
+  flat column, so in-place writes through a view mutate the canonical
+  store (this is what keeps the legacy per-pair call sites working).
+* Endpoint ids are optional per pair (a trace may omit them); pairs
+  without them carry ``-1`` fill in the flat columns and are flagged off
+  in the per-pair ``has_endpoints`` mask, so views faithfully round-trip
+  the legacy ``None``.
+
+:class:`DemandMatrix <repro.traffic.demand.DemandMatrix>`,
+:class:`FlowAssignment <repro.core.types.FlowAssignment>` and
+:class:`SiteAllocation <repro.core.types.SiteAllocation>` are all backed
+by this layout; the solver triage, the flow simulator, the latency and
+metric passes, and the measurement collector consume the flat columns
+directly (``np.bincount`` / ``np.add.reduceat`` over segments) instead of
+looping pair by pair in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["csr_offsets", "pair_views", "PairViews", "FlowTable"]
+
+
+def csr_offsets(counts: Sequence[int] | np.ndarray) -> np.ndarray:
+    """The int64 offsets array of a CSR layout with the given row sizes."""
+    counts = np.asarray(counts, dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def pair_views(flat: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    """Zero-copy per-pair slices of a flat CSR column."""
+    return [
+        flat[offsets[k] : offsets[k + 1]] for k in range(offsets.size - 1)
+    ]
+
+
+class PairViews:
+    """List-like zero-copy per-pair views over one flat CSR column.
+
+    ``views[k]`` is a NumPy slice of the flat array, so in-place writes
+    (``views[k][idx] = t``, ``views[k] += delta``) mutate the canonical
+    columnar store.  Whole-element assignment (``views[k] = arr``) copies
+    the values *into* the slice instead of rebinding, so legacy call sites
+    that replace a pair's array wholesale keep writing the flat column
+    rather than silently detaching from it.
+    """
+
+    __slots__ = ("flat", "offsets", "_views")
+
+    def __init__(self, flat: np.ndarray, offsets: np.ndarray) -> None:
+        self.flat = flat
+        self.offsets = offsets
+        self._views = pair_views(flat, offsets)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __getitem__(self, k):
+        return self._views[k]
+
+    def __setitem__(self, k: int, value) -> None:
+        view = self._views[k]
+        arr = np.asarray(value, dtype=view.dtype)
+        if arr.shape != view.shape:
+            raise ValueError(
+                f"pair {k}: cannot assign shape {arr.shape} into CSR "
+                f"segment of shape {view.shape}"
+            )
+        view[...] = arr
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._views)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PairViews(num_pairs={len(self._views)}, flat={self.flat!r})"
+
+
+class FlowTable:
+    """Columnar (CSR) store of per-flow demand state for one TE interval.
+
+    Attributes:
+        offsets: int64, shape ``(num_pairs + 1,)`` — pair ``k``'s flows
+            occupy ``offsets[k]:offsets[k + 1]`` of every column.
+        volumes: float64 demand ``d_k^i`` per flow (Gbps).
+        qos: int8 QoS class value per flow.
+        src_endpoints: int64 source endpoint id per flow (``-1`` fill for
+            pairs without endpoint ids).
+        dst_endpoints: int64 destination endpoint id per flow.
+        has_endpoints: bool per *pair* — whether the pair's endpoint
+            columns carry real ids (legacy ``None`` round-trips as False).
+        assigned_tunnel: optional int32 per flow — assigned tunnel index
+            within the pair's tunnel set, ``-1`` = unassigned.
+    """
+
+    __slots__ = (
+        "offsets",
+        "volumes",
+        "qos",
+        "src_endpoints",
+        "dst_endpoints",
+        "has_endpoints",
+        "assigned_tunnel",
+        "_pair_ids",
+    )
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        volumes: np.ndarray,
+        qos: np.ndarray,
+        src_endpoints: np.ndarray | None = None,
+        dst_endpoints: np.ndarray | None = None,
+        has_endpoints: np.ndarray | None = None,
+        assigned_tunnel: np.ndarray | None = None,
+    ) -> None:
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.volumes = np.asarray(volumes, dtype=np.float64)
+        self.qos = np.asarray(qos, dtype=np.int8)
+        n = self.volumes.size
+        num_pairs = self.offsets.size - 1
+        if src_endpoints is None:
+            src_endpoints = np.full(n, -1, dtype=np.int64)
+            dst_endpoints = np.full(n, -1, dtype=np.int64)
+            if has_endpoints is None:
+                has_endpoints = np.zeros(num_pairs, dtype=bool)
+        elif has_endpoints is None:
+            has_endpoints = np.ones(num_pairs, dtype=bool)
+        self.src_endpoints = np.asarray(src_endpoints, dtype=np.int64)
+        self.dst_endpoints = np.asarray(dst_endpoints, dtype=np.int64)
+        self.has_endpoints = np.asarray(has_endpoints, dtype=bool)
+        self.assigned_tunnel = (
+            None
+            if assigned_tunnel is None
+            else np.asarray(assigned_tunnel, dtype=np.int32)
+        )
+        self._pair_ids: np.ndarray | None = None
+
+    # -- shape ----------------------------------------------------------
+
+    @property
+    def num_pairs(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_flows(self) -> int:
+        return int(self.volumes.size)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Flows per site pair (``|I_k|`` as an int64 vector)."""
+        return np.diff(self.offsets)
+
+    def pair_slice(self, k: int) -> slice:
+        """The flat-index slice of pair ``k``'s flows."""
+        return slice(int(self.offsets[k]), int(self.offsets[k + 1]))
+
+    def pair_ids(self) -> np.ndarray:
+        """Site-pair index of every flow (cached ``np.repeat``)."""
+        if self._pair_ids is None:
+            self._pair_ids = np.repeat(
+                np.arange(self.num_pairs, dtype=np.int64), self.counts
+            )
+        return self._pair_ids
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        volumes_per_pair: Sequence[np.ndarray],
+        qos_per_pair: Sequence[np.ndarray],
+        src_per_pair: Sequence[np.ndarray | None] | None = None,
+        dst_per_pair: Sequence[np.ndarray | None] | None = None,
+    ) -> "FlowTable":
+        """Flatten legacy per-pair column lists into one table.
+
+        ``src_per_pair``/``dst_per_pair`` entries may be ``None`` per pair
+        (the legacy "no endpoint ids" case); those pairs get ``-1`` fill
+        and ``has_endpoints[k] = False``.
+        """
+        num_pairs = len(volumes_per_pair)
+        counts = [np.asarray(v).size for v in volumes_per_pair]
+        offsets = csr_offsets(counts)
+        n = int(offsets[-1])
+        if num_pairs == 0:
+            return cls(
+                offsets,
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int8),
+            )
+        volumes = np.concatenate(
+            [np.asarray(v, dtype=np.float64) for v in volumes_per_pair]
+        )
+        qos = np.concatenate(
+            [np.asarray(q, dtype=np.int8) for q in qos_per_pair]
+        )
+        has_endpoints = np.zeros(num_pairs, dtype=bool)
+        src = np.full(n, -1, dtype=np.int64)
+        dst = np.full(n, -1, dtype=np.int64)
+        if src_per_pair is not None:
+            for k in range(num_pairs):
+                s = src_per_pair[k]
+                d = None if dst_per_pair is None else dst_per_pair[k]
+                if s is None or d is None:
+                    continue
+                has_endpoints[k] = True
+                src[offsets[k] : offsets[k + 1]] = np.asarray(
+                    s, dtype=np.int64
+                )
+                dst[offsets[k] : offsets[k + 1]] = np.asarray(
+                    d, dtype=np.int64
+                )
+        return cls(offsets, volumes, qos, src, dst, has_endpoints)
+
+    def select(self, mask: np.ndarray) -> "FlowTable":
+        """The sub-table of flows where ``mask`` is true (order kept).
+
+        Segment boundaries are recomputed columnar (``np.bincount`` over
+        the masked pair ids); per-pair ``has_endpoints`` flags carry over
+        (a pair that loses all flows keeps its flag, matching the legacy
+        per-pair ``select``).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_flows,):
+            raise ValueError("mask must align with the flow count")
+        counts = np.bincount(
+            self.pair_ids()[mask], minlength=self.num_pairs
+        )
+        return FlowTable(
+            csr_offsets(counts),
+            self.volumes[mask],
+            self.qos[mask],
+            self.src_endpoints[mask],
+            self.dst_endpoints[mask],
+            self.has_endpoints.copy(),
+            None
+            if self.assigned_tunnel is None
+            else self.assigned_tunnel[mask],
+        )
+
+    # -- validation -----------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the CSR invariants; raises ``ValueError`` on violation."""
+        offsets = self.offsets
+        if offsets.size < 1 or offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        n = int(offsets[-1])
+        for name in ("volumes", "qos", "src_endpoints", "dst_endpoints"):
+            col = getattr(self, name)
+            if col.size != n:
+                raise ValueError(f"{name} must have {n} entries")
+        if self.has_endpoints.size != self.num_pairs:
+            raise ValueError("has_endpoints must have one flag per pair")
+        if self.assigned_tunnel is not None:
+            if self.assigned_tunnel.size != n:
+                raise ValueError(f"assigned_tunnel must have {n} entries")
+        if np.any(self.volumes < 0):
+            raise ValueError("demands must be non-negative")

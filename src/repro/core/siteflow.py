@@ -287,16 +287,11 @@ class SiteFlowSolver:
 
     def split(self, flat: np.ndarray) -> SiteAllocation:
         """View a flat ``F_{k,t}`` vector as a :class:`SiteAllocation`."""
-        offsets = self.tunnel_offsets
         if flat.size == 0:
-            return SiteAllocation(
-                per_pair=[np.empty(0)] * self.num_pairs
-            )
-        return SiteAllocation(
-            per_pair=[
-                flat[offsets[k] : offsets[k + 1]].copy()
-                for k in range(self.num_pairs)
-            ]
+            flat = np.zeros(self.num_tunnel_vars, dtype=np.float64)
+        return SiteAllocation.from_flat(
+            np.asarray(flat, dtype=np.float64).copy(),
+            self.tunnel_offsets,
         )
 
     def solve(

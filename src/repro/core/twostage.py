@@ -17,13 +17,18 @@ on CPU):
 
 * Stage 1 reuses the per-topology :class:`SiteFlowSolver` — constraint
   matrices are built once per topology, not per class per interval.
+* The interval state is columnar: the demand matrix's CSR
+  :class:`~repro.core.flowtable.FlowTable` supplies flat ``volumes`` /
+  ``qos`` columns, each QoS class is one mask + ``searchsorted`` over the
+  offsets (no per-pair re-flattening), and the assignment / allocation
+  are written through their flat vectors.
 * Stage 2 first *triages* the site pairs in one vectorized pass
-  (:func:`~repro.core.batch.triage_ssp_batch`): a pair whose class
-  demand fits entirely into its most-preferred positive allocation — the
-  overwhelming majority in production — is resolved without touching
-  FastSSP.  Only the contended residue runs the full sequential tunnel
-  fill, dispatched through :func:`~repro.core.parallel.parallel_map` in
-  chunks.
+  (:func:`~repro.core.batch.triage_ssp_segments` over the CSR segment
+  bounds): a pair whose class demand fits entirely into its
+  most-preferred positive allocation — the overwhelming majority in
+  production — is resolved without touching FastSSP.  Only the contended
+  residue runs the full sequential tunnel fill, dispatched through
+  :func:`~repro.core.parallel.parallel_map` in chunks.
 * Residual-capacity accounting applies the class's placed volumes
   through the precomputed link-tunnel incidence in one
   ``np.subtract.at`` call — entry order matches the per-tunnel
@@ -43,7 +48,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from .batch import BatchSSPInstance, triage_ssp_batch
+from .batch import triage_ssp_segments
 from .fastssp import fast_ssp
 from .formulation import MaxAllFlowProblem
 from .parallel import parallel_map
@@ -193,15 +198,25 @@ class MegaTEOptimizer:
         phase["matrix_build"] = time.perf_counter() - t0
         offsets = solver.tunnel_offsets
         num_pairs = solver.num_pairs
+        if demands.num_site_pairs != num_pairs:
+            raise ValueError(
+                f"demand matrix has {demands.num_site_pairs} site pairs, "
+                f"catalog has {num_pairs}"
+            )
 
         residual = problem.capacities.astype(np.float64).copy()
+        # Columnar interval state: the demand table's flat columns and the
+        # flat assignment / allocation vectors every phase reads + writes.
+        table = demands.table
+        d_offsets = table.offsets
+        flat_volumes = table.volumes
+        flat_qos = table.qos
         assignment = FlowAssignment.rejecting_all(demands)
-        combined = SiteAllocation(
-            per_pair=[
-                np.zeros(offsets[k + 1] - offsets[k])
-                for k in range(num_pairs)
-            ]
+        assigned_flat = assignment.assigned_tunnel
+        combined = SiteAllocation.from_flat(
+            np.zeros(solver.num_tunnel_vars, dtype=np.float64), offsets
         )
+        combined_values = combined.values
         satisfied = 0.0
         stage1_s = 0.0
         stage2_s = 0.0
@@ -210,11 +225,21 @@ class MegaTEOptimizer:
         per_class_satisfied: dict[int, float] = {}
 
         for qos in self.qos_order:
-            # SiteMerge: the class's per-pair (indices, volumes) slices
-            # are reused by triage, the pair solves, and the scatter.
-            per_pair_qos = [pair.for_qos(qos) for pair in demands]
+            # SiteMerge, columnar: one mask over the flat qos column gives
+            # the class's global flow indices; ``searchsorted`` against
+            # the CSR offsets recovers each pair's segment.  ``cls_vol``
+            # gathers the class volumes once — triage, the pair solves,
+            # and the scatter all slice it instead of re-flattening.
+            cls_idx = np.flatnonzero(flat_qos == qos.value)
+            cls_vol = flat_volumes[cls_idx]
+            seg = np.searchsorted(cls_idx, d_offsets)
+            # Per-pair sums (not one reduceat) so each D_k is bit-identical
+            # to the legacy per-pair ``volumes.sum()`` feeding the LP.
             class_demands = np.array(
-                [float(v.sum()) for _, v in per_pair_qos]
+                [
+                    float(cls_vol[seg[k] : seg[k + 1]].sum())
+                    for k in range(num_pairs)
+                ]
             )
             if not np.any(class_demands > 0):
                 continue
@@ -253,7 +278,7 @@ class MegaTEOptimizer:
                 outcomes = parallel_map(
                     lambda k: self._solve_pair(
                         k,
-                        per_pair_qos[k][1],
+                        cls_vol[seg[k] : seg[k + 1]],
                         site_alloc.per_pair[k],
                         orders[k],
                     ),
@@ -265,55 +290,44 @@ class MegaTEOptimizer:
                 phase["contended_ssp"] += dt
                 num_contended += len(outcomes)
             else:
-                # Triage: a pair whose whole class demand fits its first
-                # positive-allocation tunnel needs no FastSSP at all.
+                # Triage, columnar: a pair whose whole class demand fits
+                # its first positive-allocation tunnel needs no FastSSP.
+                # Candidates and the fits/contended split come straight
+                # from the CSR segment bounds — no per-instance objects.
                 t0 = time.perf_counter()
                 first_cols = _first_positive_columns(
                     alloc_flat, ordered_cols, offsets
                 )
-                batch_ks: list[int] = []
-                instances: list[BatchSSPInstance] = []
-                for k in range(num_pairs):
-                    volumes = per_pair_qos[k][1]
-                    if volumes.size == 0 or first_cols[k] < 0:
-                        # No class flows, no tunnels, or a zero
-                        # allocation everywhere: every flow stays
-                        # rejected, exactly as the serial path leaves it.
-                        continue
-                    instances.append(
-                        BatchSSPInstance(
-                            values=volumes,
-                            capacity=float(alloc_flat[first_cols[k]]),
-                            epsilon=self.fastssp_epsilon,
-                        )
-                    )
-                    batch_ks.append(k)
-                results, contended_pos = triage_ssp_batch(instances)
+                candidates = np.flatnonzero(
+                    (seg[1:] > seg[:-1]) & (first_cols >= 0)
+                )
+                fits_pos, contended_pos = triage_ssp_segments(
+                    class_demands[candidates],
+                    alloc_flat[first_cols[candidates]],
+                )
                 dt = time.perf_counter() - t0
                 stage2_s += dt
                 phase["triage"] += dt
 
                 # Uncontended pairs: everything rides the preferred
-                # tunnel; scatter the select-all results directly.
-                for pos, k in enumerate(batch_ks):
-                    result = results[pos]
-                    if result is None:
-                        continue
-                    idx, volumes = per_pair_qos[k]
+                # tunnel; scatter the select-all results directly into
+                # the flat assignment / allocation vectors.
+                for k in candidates[fits_pos]:
                     col = first_cols[k]
                     t_local = int(col - offsets[k])
-                    assignment.per_pair[k][idx] = t_local
-                    combined.per_pair[k][t_local] += result.total
-                    placed_flat[col] += result.total
-                    contrib[k] = float(volumes.sum())
+                    total = class_demands[k]
+                    assigned_flat[cls_idx[seg[k] : seg[k + 1]]] = t_local
+                    combined_values[col] += total
+                    placed_flat[col] += total
+                    contrib[int(k)] = float(total)
                     num_uncontended += 1
 
                 t0 = time.perf_counter()
-                contended_ks = [batch_ks[i] for i in contended_pos]
+                contended_ks = [int(k) for k in candidates[contended_pos]]
                 outcomes = parallel_map(
                     lambda k: self._solve_pair(
                         k,
-                        per_pair_qos[k][1],
+                        cls_vol[seg[k] : seg[k + 1]],
                         site_alloc.per_pair[k],
                         orders[k],
                     ),
@@ -327,13 +341,14 @@ class MegaTEOptimizer:
 
             for outcome in outcomes:
                 k = outcome.k
-                idx, volumes = per_pair_qos[k]
+                idx = cls_idx[seg[k] : seg[k + 1]]
+                volumes = cls_vol[seg[k] : seg[k + 1]]
                 mask = outcome.assigned_tunnel >= 0
-                assignment.per_pair[k][idx[mask]] = outcome.assigned_tunnel[
-                    mask
-                ]
+                assigned_flat[idx[mask]] = outcome.assigned_tunnel[mask]
                 contrib[k] = float(volumes[mask].sum())
-                combined.per_pair[k] += outcome.placed_per_tunnel
+                combined_values[offsets[k] : offsets[k + 1]] += (
+                    outcome.placed_per_tunnel
+                )
                 placed_flat[offsets[k] : offsets[k + 1]] = (
                     outcome.placed_per_tunnel
                 )

@@ -8,9 +8,11 @@ MILP, LP-all, NCFlow- and TEAL-style baselines — returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+from .flowtable import PairViews, csr_offsets
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
     from ..topology.contraction import TwoLayerTopology
@@ -24,20 +26,68 @@ __all__ = [
     "check_feasibility",
 ]
 
-#: Tunnel index meaning "flow rejected / not placed".
+#: Tunnel index meaning "flow rejected / not placed".  This is the *only*
+#: negative sentinel an assignment array may carry: every entry is either
+#: a valid tunnel index (``>= 0``) or exactly ``UNASSIGNED``.
 UNASSIGNED = -1
 
 
-@dataclass
+def _flatten(
+    per_pair: Sequence[np.ndarray], dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a legacy per-pair array list into ``(flat, offsets)``."""
+    arrays = [np.asarray(arr, dtype=dtype) for arr in per_pair]
+    offsets = csr_offsets([arr.size for arr in arrays])
+    if arrays:
+        flat = np.concatenate(arrays).astype(dtype, copy=False)
+    else:
+        flat = np.empty(0, dtype=dtype)
+    return flat, offsets
+
+
 class SiteAllocation:
     """Site-level bandwidth allocation ``F_{k,t}`` (MaxSiteFlow output).
 
+    Canonically stored columnar: one flat float64 ``values`` vector over
+    the ``(k, t)`` variables plus CSR ``offsets`` per site pair (catalog
+    order = ascending weight).  ``per_pair`` exposes the legacy view —
+    zero-copy slices of ``values``, so in-place writes go through.
+
     Attributes:
-        per_pair: For each site pair ``k``, an array of allocations, one
-            entry per tunnel in ``T_k`` (catalog order = ascending weight).
+        values: Flat ``F_{k,t}`` vector (float64).
+        offsets: int64 CSR offsets — pair ``k`` owns
+            ``values[offsets[k]:offsets[k + 1]]``.
+        per_pair: Per-pair zero-copy views of ``values``.
     """
 
-    per_pair: list[np.ndarray]
+    __slots__ = ("values", "offsets", "per_pair")
+
+    def __init__(
+        self,
+        per_pair: Sequence[np.ndarray] | None = None,
+        *,
+        values: np.ndarray | None = None,
+        offsets: np.ndarray | None = None,
+    ) -> None:
+        if per_pair is not None:
+            values, offsets = _flatten(per_pair, np.float64)
+        elif values is None or offsets is None:
+            raise TypeError(
+                "SiteAllocation needs per_pair or (values, offsets)"
+            )
+        else:
+            values = np.asarray(values, dtype=np.float64)
+            offsets = np.asarray(offsets, dtype=np.int64)
+        self.values = values
+        self.offsets = offsets
+        self.per_pair = PairViews(values, offsets)
+
+    @classmethod
+    def from_flat(
+        cls, values: np.ndarray, offsets: np.ndarray
+    ) -> "SiteAllocation":
+        """Wrap a flat ``F_{k,t}`` vector without copying."""
+        return cls(values=values, offsets=offsets)
 
     @property
     def total(self) -> float:
@@ -47,37 +97,85 @@ class SiteAllocation:
     def allocation(self, k: int, t: int) -> float:
         return float(self.per_pair[k][t])
 
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SiteAllocation(num_pairs={len(self.per_pair)}, "
+            f"total={self.total:.3f})"
+        )
 
-@dataclass
+
 class FlowAssignment:
     """Endpoint-level assignment ``f_{k,t}^i`` in compact form.
 
+    Canonically stored columnar: one flat int32 ``assigned_tunnel`` array
+    over all flows plus CSR ``offsets`` per site pair.  Every construction
+    path normalizes to int32; entries are valid tunnel indices within
+    ``T_k`` or exactly :data:`UNASSIGNED` (the only negative sentinel).
+
     Attributes:
-        per_pair: For each site pair ``k``, an int array over endpoint
-            pairs ``i ∈ I_k`` holding the assigned tunnel index within
-            ``T_k``, or :data:`UNASSIGNED` for rejected flows.
+        assigned_tunnel: Flat int32 tunnel index per flow
+            (:data:`UNASSIGNED` = rejected).
+        offsets: int64 CSR offsets — pair ``k`` owns
+            ``assigned_tunnel[offsets[k]:offsets[k + 1]]``.
+        per_pair: Per-pair zero-copy views of ``assigned_tunnel``; writes
+            through a view mutate the flat store.
     """
 
-    per_pair: list[np.ndarray]
+    __slots__ = ("assigned_tunnel", "offsets", "per_pair")
+
+    def __init__(
+        self,
+        per_pair: Sequence[np.ndarray] | None = None,
+        *,
+        assigned_tunnel: np.ndarray | None = None,
+        offsets: np.ndarray | None = None,
+    ) -> None:
+        if per_pair is not None:
+            flat, offsets = _flatten(per_pair, np.int32)
+        elif assigned_tunnel is None or offsets is None:
+            raise TypeError(
+                "FlowAssignment needs per_pair or "
+                "(assigned_tunnel, offsets)"
+            )
+        else:
+            flat = np.asarray(assigned_tunnel, dtype=np.int32)
+            offsets = np.asarray(offsets, dtype=np.int64)
+        self.assigned_tunnel = flat
+        self.offsets = offsets
+        self.per_pair = PairViews(flat, offsets)
+
+    @classmethod
+    def from_flat(
+        cls, assigned_tunnel: np.ndarray, offsets: np.ndarray
+    ) -> "FlowAssignment":
+        """Wrap a flat assignment array without copying."""
+        return cls(assigned_tunnel=assigned_tunnel, offsets=offsets)
 
     def tunnel_of(self, k: int, i: int) -> int:
         """Assigned tunnel index of flow ``(k, i)``, or -1 if rejected."""
         return int(self.per_pair[k][i])
 
     def num_assigned(self) -> int:
-        return int(sum((arr >= 0).sum() for arr in self.per_pair))
+        return int((self.assigned_tunnel >= 0).sum())
 
     def num_flows(self) -> int:
-        return int(sum(arr.size for arr in self.per_pair))
+        return int(self.assigned_tunnel.size)
 
     @classmethod
     def rejecting_all(cls, demands: DemandMatrix) -> "FlowAssignment":
         """An assignment with every flow rejected (useful as a base case)."""
+        table = demands.table
         return cls(
-            per_pair=[
-                np.full(p.num_pairs, UNASSIGNED, dtype=np.int32)
-                for p in demands
-            ]
+            assigned_tunnel=np.full(
+                table.num_flows, UNASSIGNED, dtype=np.int32
+            ),
+            offsets=table.offsets,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FlowAssignment(num_flows={self.num_flows()}, "
+            f"num_assigned={self.num_assigned()})"
         )
 
 

@@ -16,7 +16,7 @@ substrate and communicate only through the maps, as real eBPF must.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Hashable, Iterator
 

@@ -12,10 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .packet import (
-    ETH_HEADER_LEN,
     EthernetHeader,
     FiveTuple,
-    IPV4_HEADER_LEN,
     IPv4Header,
     UDP_HEADER_LEN,
     UDPHeader,

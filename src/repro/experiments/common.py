@@ -28,7 +28,7 @@ from ..topology import (
     contract,
     topology_by_name,
 )
-from ..traffic import DemandMatrix, generate_demands, map_demands, scale_to_load
+from ..traffic import DemandMatrix, generate_demands, scale_to_load
 
 __all__ = [
     "Scenario",

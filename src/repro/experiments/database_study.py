@@ -12,10 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..controlplane import (
-    SHARD_CAPACITY_QPS,
     TEDatabase,
     required_shards,
     spread_offsets,

@@ -16,8 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import MegaTEOptimizer, QoSClass
-from ..simulation import compute_flow_latencies, measure_hash_latency
+from ..core import MegaTEOptimizer
+from ..simulation import measure_hash_latency
 from ..topology import SiteNetwork, TwoLayerTopology, build_tunnels
 from ..topology.endpoints import EndpointLayout
 from ..traffic import DemandMatrix, PairDemands

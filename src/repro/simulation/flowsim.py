@@ -5,6 +5,13 @@ network state: per-link loads and utilization, per-flow delivery (a flow on
 an overloaded link suffers proportional loss), and aggregate carried
 volume.  This is the "[Simulation]" harness behind the paper's evaluation
 figures — TE schemes propose, the flow simulator disposes.
+
+Realization is columnar: the assignment's flat ``assigned_tunnel`` array is
+mapped to global tunnel ids against the catalog's cached
+:class:`~repro.topology.tunnels.CatalogArrays`, per-tunnel carried volume
+and per-link loads fall out of two ``np.bincount`` passes, and per-tunnel
+delivery ratios out of one ``np.minimum.reduceat`` over the link
+incidence — no per-pair Python loop.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from ..core.flowtable import pair_views
 
 if TYPE_CHECKING:
     from ..core.types import TEResult
@@ -75,6 +84,39 @@ class SimulationOutcome:
         return self.link_states[(src, dst)].utilization
 
 
+def _realized_tunnel_volumes(
+    arrays,
+    table,
+    assigned: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map a flat assignment onto global tunnel ids.
+
+    Returns ``(valid, global_tunnel, per_tunnel_volume)`` where ``valid``
+    masks flows carrying traffic (assigned a tunnel index that exists in
+    their pair's tunnel set), ``global_tunnel`` is each flow's global
+    tunnel id (meaningful where ``valid``), and ``per_tunnel_volume`` is
+    the carried volume per global tunnel.
+    """
+    counts = arrays.tunnels_per_pair()
+    if table.num_flows == 0:
+        return (
+            np.zeros(0, dtype=bool),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(arrays.num_tunnels, dtype=np.float64),
+        )
+    pair_of_flow = table.pair_ids()
+    valid = (assigned >= 0) & (assigned < counts[pair_of_flow])
+    global_tunnel = arrays.tunnel_offsets[pair_of_flow] + np.where(
+        valid, assigned, 0
+    )
+    per_tunnel = np.bincount(
+        global_tunnel[valid],
+        weights=table.volumes[valid],
+        minlength=arrays.num_tunnels,
+    )
+    return valid, global_tunnel, per_tunnel
+
+
 def simulate(
     topology: "TwoLayerTopology", result: "TEResult"
 ) -> SimulationOutcome:
@@ -85,46 +127,39 @@ def simulate(
     of FIFO drops).  A flow's delivered fraction is the minimum delivery
     ratio along its tunnel.
     """
-    catalog = topology.catalog
-    network = topology.network
-    loads: dict[tuple[str, str], float] = {
-        link.key: 0.0 for link in network.links
-    }
-    for k, pair in enumerate(result.demands):
-        assigned = result.assignment.per_pair[k]
-        tunnels = catalog.tunnels(k)
-        for t_index in np.unique(assigned):
-            if t_index < 0 or t_index >= len(tunnels):
-                continue
-            volume = float(pair.volumes[assigned == t_index].sum())
-            for key in tunnels[int(t_index)].links:
-                loads[key] += volume
+    arrays = topology.catalog.columnar()
+    table = result.demands.table
+    assigned = result.assignment.assigned_tunnel
+    volumes = table.volumes
+
+    valid, global_tunnel, per_tunnel = _realized_tunnel_volumes(
+        arrays, table, assigned
+    )
+    link_loads = arrays.link_loads(per_tunnel)
 
     link_states = {
-        link.key: LinkState(load=loads[link.key], capacity=link.capacity)
-        for link in network.links
+        key: LinkState(
+            load=float(link_loads[i]), capacity=float(arrays.capacity[i])
+        )
+        for i, key in enumerate(arrays.link_keys)
     }
 
-    delivered = 0.0
-    offered = 0.0
-    flow_delivery: list[np.ndarray] = []
-    for k, pair in enumerate(result.demands):
-        assigned = result.assignment.per_pair[k]
-        tunnels = catalog.tunnels(k)
-        fractions = np.zeros(pair.num_pairs, dtype=np.float64)
-        for t_index in np.unique(assigned):
-            if t_index < 0 or t_index >= len(tunnels):
-                continue
-            ratio = 1.0
-            for key in tunnels[int(t_index)].links:
-                ratio = min(ratio, link_states[key].delivery_ratio)
-            fractions[assigned == t_index] = ratio
-        flow_delivery.append(fractions)
-        offered += float(pair.volumes[assigned >= 0].sum())
-        delivered += float((pair.volumes * fractions).sum())
+    # Per-link delivery ratio, then per-tunnel = min over its links.
+    link_ratio = np.ones(arrays.num_links, dtype=np.float64)
+    over = link_loads > arrays.capacity
+    link_ratio[over] = arrays.capacity[over] / link_loads[over]
+    tunnel_ratio = arrays.min_over_links(link_ratio)
+
+    fractions = np.zeros(table.num_flows, dtype=np.float64)
+    if table.num_flows:
+        fractions[valid] = tunnel_ratio[global_tunnel[valid]]
+    # Offered intentionally counts every flow with a non-negative index,
+    # even one pointing past its pair's tunnel set (legacy semantics).
+    offered = float(volumes[assigned >= 0].sum())
+    delivered = float((volumes * fractions).sum())
     return SimulationOutcome(
         link_states=link_states,
         delivered_volume=delivered,
         offered_volume=offered,
-        flow_delivery=flow_delivery,
+        flow_delivery=pair_views(fractions, table.offsets),
     )

@@ -5,6 +5,12 @@ sum of measured per-hop latencies along the path; for the public topologies
 the number of hops.  Both are supported, plus an optional M/M/1-style
 congestion factor so saturated links inflate latency — used by the
 production-style studies where load matters.
+
+The pass is columnar: per-tunnel latency is one flat vector over the
+catalog's global tunnel ids (for the congestion-aware variant, an
+``np.add.reduceat`` over the link incidence after loads come out of two
+``np.bincount`` passes), and every assigned flow's latency is one gather
+through its global tunnel id — no per-pair Python loop.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import TYPE_CHECKING, Literal
 import numpy as np
 
 from ..core.qos import QoSClass
+from .flowsim import _realized_tunnel_volumes
 
 if TYPE_CHECKING:
     from ..core.types import TEResult
@@ -88,62 +95,36 @@ def compute_flow_latencies(
         A :class:`FlowLatencies` over assigned flows only (rejected flows
         carry no packets).
     """
-    catalog = topology.catalog
-    network = topology.network
+    arrays = topology.catalog.columnar()
+    table = result.demands.table
+    assigned = result.assignment.assigned_tunnel
 
-    link_factor: dict[tuple[str, str], float] = {}
-    if congestion_aware:
-        loads: dict[tuple[str, str], float] = {
-            link.key: 0.0 for link in network.links
-        }
-        for k, pair in enumerate(result.demands):
-            assigned = result.assignment.per_pair[k]
-            tunnels = catalog.tunnels(k)
-            for t_index in np.unique(assigned):
-                if t_index < 0 or t_index >= len(tunnels):
-                    continue
-                volume = float(pair.volumes[assigned == t_index].sum())
-                for key in tunnels[int(t_index)].links:
-                    loads[key] = loads.get(key, 0.0) + volume
-        for link in network.links:
-            rho = (
-                min(0.95, loads[link.key] / link.capacity)
-                if link.capacity > 0
-                else 0.95
-            )
-            link_factor[link.key] = 1.0 / (1.0 - rho)
+    valid, global_tunnel, per_tunnel = _realized_tunnel_volumes(
+        arrays, table, assigned
+    )
 
-    lat_parts: list[np.ndarray] = []
-    vol_parts: list[np.ndarray] = []
-    qos_parts: list[np.ndarray] = []
-    for k, pair in enumerate(result.demands):
-        assigned = result.assignment.per_pair[k]
-        tunnels = catalog.tunnels(k)
-        if assigned.size == 0 or not tunnels:
-            continue
-        # Latency per tunnel of this site pair.
-        tunnel_latency = np.empty(len(tunnels), dtype=np.float64)
-        for t_index, tunnel in enumerate(tunnels):
-            if metric == "hops":
-                tunnel_latency[t_index] = tunnel.num_hops
-            elif congestion_aware:
-                tunnel_latency[t_index] = sum(
-                    network.link(u, v).latency_ms * link_factor[(u, v)]
-                    for u, v in tunnel.links
-                )
-            else:
-                tunnel_latency[t_index] = tunnel.weight
-        mask = assigned >= 0
-        if not np.any(mask):
-            continue
-        lat_parts.append(tunnel_latency[assigned[mask]])
-        vol_parts.append(pair.volumes[mask])
-        qos_parts.append(pair.qos[mask])
-    if lat_parts:
+    if metric == "hops":
+        tunnel_latency = arrays.num_hops
+    elif congestion_aware:
+        link_loads = arrays.link_loads(per_tunnel)
+        # ρ = min(0.95, load / capacity); zero-capacity links pin at 0.95.
+        rho = np.full(arrays.num_links, 0.95, dtype=np.float64)
+        has_cap = arrays.capacity > 0
+        rho[has_cap] = np.minimum(
+            0.95, link_loads[has_cap] / arrays.capacity[has_cap]
+        )
+        factor = 1.0 / (1.0 - rho)
+        tunnel_latency = arrays.sum_over_links(
+            arrays.latency_ms * factor
+        )
+    else:
+        tunnel_latency = arrays.weight
+
+    if bool(valid.any()):
         return FlowLatencies(
-            latencies=np.concatenate(lat_parts),
-            volumes=np.concatenate(vol_parts),
-            qos=np.concatenate(qos_parts),
+            latencies=tunnel_latency[global_tunnel[valid]],
+            volumes=table.volumes[valid],
+            qos=table.qos[valid],
             metric=metric,
         )
     return FlowLatencies(

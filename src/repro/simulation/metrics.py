@@ -32,25 +32,34 @@ def _per_tunnel_metric(
     qos: QoSClass | None,
     attribute: str,
 ) -> tuple[float, float]:
-    """(Σ volume × tunnel.<attribute>, Σ volume) over assigned flows."""
-    catalog = topology.catalog
-    weighted = 0.0
-    volume_total = 0.0
-    for k, pair in enumerate(result.demands):
-        assigned = result.assignment.per_pair[k]
-        tunnels = catalog.tunnels(k)
-        mask = (
-            np.ones(pair.num_pairs, dtype=bool)
-            if qos is None
-            else pair.qos == qos.value
-        )
-        for t_index in np.unique(assigned[mask]):
-            sel = mask & (assigned == t_index)
-            vol = float(pair.volumes[sel].sum())
-            volume_total += vol
-            if 0 <= t_index < len(tunnels):
-                weighted += vol * getattr(tunnels[int(t_index)], attribute)
-            # Rejected flows contribute volume but zero metric.
+    """(Σ volume × tunnel.<attribute>, Σ volume) over assigned flows.
+
+    One columnar pass: flows are mapped to global tunnel ids against the
+    catalog's cached :class:`~repro.topology.tunnels.CatalogArrays` and
+    the per-tunnel attribute is gathered flat.  Rejected flows contribute
+    volume but zero metric (so rejecting traffic hurts the score).
+    """
+    arrays = topology.catalog.columnar()
+    table = result.demands.table
+    assigned = result.assignment.assigned_tunnel
+    qos_mask = (
+        np.ones(table.num_flows, dtype=bool)
+        if qos is None
+        else table.qos == qos.value
+    )
+    volume_total = float(table.volumes[qos_mask].sum())
+    if table.num_flows == 0:
+        return 0.0, volume_total
+    counts = arrays.tunnels_per_pair()
+    pair_of_flow = table.pair_ids()
+    valid = qos_mask & (assigned >= 0) & (assigned < counts[pair_of_flow])
+    global_tunnel = (
+        arrays.tunnel_offsets[pair_of_flow[valid]] + assigned[valid]
+    )
+    attr = getattr(arrays, attribute)
+    weighted = float(
+        (table.volumes[valid] * attr[global_tunnel]).sum()
+    )
     return weighted, volume_total
 
 

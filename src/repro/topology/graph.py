@@ -13,7 +13,7 @@ capacity per direction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Mapping
 
 import networkx as nx

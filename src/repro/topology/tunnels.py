@@ -12,13 +12,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import islice
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
+import numpy as np
 
+from ..core.flowtable import csr_offsets
 from .graph import SiteNetwork
 
-__all__ = ["Tunnel", "TunnelCatalog", "build_tunnels"]
+__all__ = [
+    "Tunnel",
+    "TunnelCatalog",
+    "CatalogArrays",
+    "build_tunnels",
+]
 
 
 @dataclass(frozen=True)
@@ -64,12 +71,126 @@ class Tunnel:
         return (src, dst) in self.links
 
 
+class CatalogArrays:
+    """Columnar (CSR) view of one catalog's tunnels and link incidence.
+
+    The flat twin of :class:`TunnelCatalog`, built once and cached: global
+    tunnel ids are CSR-sliced by site pair, per-tunnel attributes are flat
+    vectors, and the tunnel→link incidence is a second CSR level — which
+    is what lets the realization layers (flow simulator, latency, metric
+    passes) process a whole interval with ``np.bincount`` / ``reduceat``
+    instead of looping per pair and per tunnel in Python.
+
+    Attributes:
+        tunnel_offsets: int64 per site pair — pair ``k``'s tunnels are
+            global ids ``tunnel_offsets[k]:tunnel_offsets[k + 1]``, in
+            catalog (ascending-weight) order.
+        weight / num_hops / cost_per_gbps / availability: per global
+            tunnel (float64).
+        link_offsets: int64 per global tunnel — tunnel ``t`` traverses
+            incidence rows ``link_offsets[t]:link_offsets[t + 1]``.
+        link_ids: int64 link index per incidence row, in path order.
+        row_tunnel: int64 global tunnel id per incidence row.
+        link_keys: Directed link key per link index (network order).
+        link_index: Key → link index.
+        capacity / latency_ms: per link (float64).
+    """
+
+    def __init__(self, catalog: "TunnelCatalog") -> None:
+        network = catalog.network
+        links = network.links
+        self.link_keys: list[tuple[str, str]] = [
+            link.key for link in links
+        ]
+        self.link_index: dict[tuple[str, str], int] = {
+            key: i for i, key in enumerate(self.link_keys)
+        }
+        self.capacity = np.array(
+            [link.capacity for link in links], dtype=np.float64
+        )
+        self.latency_ms = np.array(
+            [link.latency_ms for link in links], dtype=np.float64
+        )
+
+        tunnel_lists = catalog._tunnels
+        self.tunnel_offsets = csr_offsets(
+            [len(ts) for ts in tunnel_lists]
+        )
+        num_tunnels = int(self.tunnel_offsets[-1])
+        self.num_tunnels = num_tunnels
+        self.weight = np.empty(num_tunnels, dtype=np.float64)
+        self.num_hops = np.empty(num_tunnels, dtype=np.float64)
+        self.cost_per_gbps = np.empty(num_tunnels, dtype=np.float64)
+        self.availability = np.empty(num_tunnels, dtype=np.float64)
+        link_counts = np.empty(num_tunnels, dtype=np.int64)
+        link_ids: list[int] = []
+        t = 0
+        for tunnel_list in tunnel_lists:
+            for tunnel in tunnel_list:
+                self.weight[t] = tunnel.weight
+                self.num_hops[t] = tunnel.num_hops
+                self.cost_per_gbps[t] = tunnel.cost_per_gbps
+                self.availability[t] = tunnel.availability
+                keys = tunnel.links
+                link_counts[t] = len(keys)
+                link_ids.extend(self.link_index[k] for k in keys)
+                t += 1
+        self.link_offsets = csr_offsets(link_counts)
+        self.link_ids = np.asarray(link_ids, dtype=np.int64)
+        self.row_tunnel = np.repeat(
+            np.arange(num_tunnels, dtype=np.int64), link_counts
+        )
+
+    @property
+    def num_links(self) -> int:
+        return self.capacity.size
+
+    def tunnels_per_pair(self) -> np.ndarray:
+        """``|T_k|`` per site pair (int64)."""
+        return np.diff(self.tunnel_offsets)
+
+    def link_loads(self, per_tunnel_volume: np.ndarray) -> np.ndarray:
+        """Per-link load from per-(global-)tunnel carried volume."""
+        if self.link_ids.size == 0:
+            return np.zeros(self.num_links, dtype=np.float64)
+        return np.bincount(
+            self.link_ids,
+            weights=per_tunnel_volume[self.row_tunnel],
+            minlength=self.num_links,
+        )
+
+    def min_over_links(self, per_link: np.ndarray) -> np.ndarray:
+        """Per-tunnel minimum of a per-link quantity (e.g. delivery)."""
+        out = np.ones(self.num_tunnels, dtype=np.float64)
+        if self.num_tunnels == 0:
+            return out
+        # Every tunnel has >= 1 link (paths span >= 2 sites), so each
+        # reduceat segment is non-empty.
+        np.minimum(
+            out,
+            np.minimum.reduceat(
+                per_link[self.link_ids], self.link_offsets[:-1]
+            ),
+            out=out,
+        )
+        return out
+
+    def sum_over_links(self, per_link: np.ndarray) -> np.ndarray:
+        """Per-tunnel sum of a per-link quantity (e.g. latency)."""
+        if self.num_tunnels == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.add.reduceat(
+            per_link[self.link_ids], self.link_offsets[:-1]
+        )
+
+
 class TunnelCatalog:
     """Tunnel sets ``{T_k}`` for the site pairs of interest.
 
     Site pairs are ordered; ``pairs[k]`` is the k-th site pair and
     ``tunnels(k)`` (or ``tunnels_for(src, dst)``) its tunnel list, sorted by
-    ascending weight.
+    ascending weight.  :meth:`columnar` exposes the cached CSR view the
+    bulk realization passes consume.
     """
 
     def __init__(self, network: SiteNetwork) -> None:
@@ -77,6 +198,7 @@ class TunnelCatalog:
         self._pairs: list[tuple[str, str]] = []
         self._index: dict[tuple[str, str], int] = {}
         self._tunnels: list[list[Tunnel]] = []
+        self._columnar: CatalogArrays | None = None
 
     def add_pair(
         self,
@@ -107,7 +229,14 @@ class TunnelCatalog:
         self._pairs.append(key)
         self._index[key] = k
         self._tunnels.append(list(ordered))
+        self._columnar = None  # flat view is stale once pairs change
         return k
+
+    def columnar(self) -> CatalogArrays:
+        """The cached CSR view of this catalog (built on first use)."""
+        if self._columnar is None:
+            self._columnar = CatalogArrays(self)
+        return self._columnar
 
     @property
     def pairs(self) -> list[tuple[str, str]]:

@@ -2,18 +2,23 @@
 
 The TE input of Table 1: for each site pair ``k`` a set of endpoint pairs
 ``i ∈ I_k``, each with a bandwidth demand ``d_k^i`` (Gbps over one TE
-interval) and a QoS class.  Demands are stored as NumPy arrays per site
-pair, so a matrix with hundreds of thousands of endpoint pairs stays cheap
-to aggregate (``SiteMerge``) and slice per QoS class.
+interval) and a QoS class.  Demands are stored columnar — one
+:class:`~repro.core.flowtable.FlowTable` holding flat ``volumes`` /
+``qos`` / endpoint-id arrays CSR-sliced by site pair — so a matrix with
+hundreds of thousands of endpoint pairs is aggregated (``SiteMerge``),
+class-sliced, and realized in bulk NumPy passes.  The per-pair
+:class:`PairDemands` accessors are zero-copy views of the flat columns,
+kept so pair-at-a-time call sites work unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..core.flowtable import FlowTable
 from ..core.qos import QoSClass
 
 __all__ = ["PairDemands", "DemandMatrix"]
@@ -98,23 +103,87 @@ class PairDemands:
             qos=np.empty(0, dtype=np.int8),
         )
 
+    @classmethod
+    def _view(
+        cls,
+        volumes: np.ndarray,
+        qos: np.ndarray,
+        src_endpoints: np.ndarray | None,
+        dst_endpoints: np.ndarray | None,
+    ) -> "PairDemands":
+        """Trusted zero-copy view constructor (skips re-validation)."""
+        self = object.__new__(cls)
+        self.volumes = volumes
+        self.qos = qos
+        self.src_endpoints = src_endpoints
+        self.dst_endpoints = dst_endpoints
+        return self
+
 
 class DemandMatrix:
     """All endpoint-pair demands for one TE interval.
 
     Indexed by site-pair index ``k``, aligned with a
     :class:`~repro.topology.tunnels.TunnelCatalog`'s pair ordering.
+    Canonically backed by one columnar
+    :class:`~repro.core.flowtable.FlowTable` (see :attr:`table`); the
+    per-pair accessors return zero-copy views of its flat columns.
     """
 
-    def __init__(self, per_pair: Sequence[PairDemands]) -> None:
-        self._per_pair = list(per_pair)
+    def __init__(
+        self,
+        per_pair: Sequence[PairDemands] | None = None,
+        *,
+        table: FlowTable | None = None,
+    ) -> None:
+        if table is None:
+            if per_pair is None:
+                raise TypeError("DemandMatrix needs per_pair or table")
+            pairs = list(per_pair)
+            table = FlowTable.from_columns(
+                [p.volumes for p in pairs],
+                [p.qos for p in pairs],
+                [p.src_endpoints for p in pairs],
+                [p.dst_endpoints for p in pairs],
+            )
+        self._table = table
+        self._views: list[PairDemands] | None = None
+
+    @classmethod
+    def from_table(cls, table: FlowTable) -> "DemandMatrix":
+        """Wrap an existing columnar table without copying."""
+        return cls(table=table)
+
+    @property
+    def table(self) -> FlowTable:
+        """The canonical columnar store."""
+        return self._table
+
+    @property
+    def _per_pair(self) -> list[PairDemands]:
+        """Per-pair zero-copy views of the flat columns (built lazily)."""
+        if self._views is None:
+            t = self._table
+            offsets = t.offsets
+            views = []
+            for k in range(t.num_pairs):
+                s = slice(offsets[k], offsets[k + 1])
+                if t.has_endpoints[k]:
+                    src, dst = t.src_endpoints[s], t.dst_endpoints[s]
+                else:
+                    src = dst = None
+                views.append(
+                    PairDemands._view(t.volumes[s], t.qos[s], src, dst)
+                )
+            self._views = views
+        return self._views
 
     @property
     def num_site_pairs(self) -> int:
-        return len(self._per_pair)
+        return self._table.num_pairs
 
     def pair(self, k: int) -> PairDemands:
-        """Demands of site pair ``k``."""
+        """Demands of site pair ``k`` (zero-copy view)."""
         return self._per_pair[k]
 
     def __iter__(self) -> Iterator[PairDemands]:
@@ -123,12 +192,22 @@ class DemandMatrix:
     @property
     def num_endpoint_pairs(self) -> int:
         """Total endpoint pairs across all site pairs."""
-        return sum(p.num_pairs for p in self._per_pair)
+        return self._table.num_flows
 
     @property
     def total_demand(self) -> float:
-        """Total demand volume across the matrix (Gbps)."""
-        return sum(p.total for p in self._per_pair)
+        """Total demand volume across the matrix (Gbps).
+
+        Summed per pair then across pairs (not one flat ``sum``), to stay
+        bit-identical with the legacy per-pair representation — load
+        calibration divides by this, so its last ulp matters to replay
+        digests.
+        """
+        t = self._table
+        return sum(
+            float(t.volumes[t.offsets[k] : t.offsets[k + 1]].sum())
+            for k in range(t.num_pairs)
+        )
 
     def site_demands(self, qos: QoSClass | None = None) -> np.ndarray:
         """``SiteMerge``: aggregated demand ``D_k`` per site pair.
@@ -136,19 +215,25 @@ class DemandMatrix:
         Args:
             qos: Restrict to one QoS class; ``None`` aggregates all classes.
         """
-        out = np.zeros(len(self._per_pair), dtype=np.float64)
-        for k, pair in enumerate(self._per_pair):
+        t = self._table
+        out = np.zeros(t.num_pairs, dtype=np.float64)
+        for k in range(t.num_pairs):
+            s = slice(t.offsets[k], t.offsets[k + 1])
             if qos is None:
-                out[k] = pair.total
+                out[k] = float(t.volumes[s].sum())
             else:
-                _, volumes = pair.for_qos(qos)
-                out[k] = float(volumes.sum())
+                out[k] = float(
+                    t.volumes[s][t.qos[s] == qos.value].sum()
+                )
         return out
 
     def for_qos(self, qos: QoSClass) -> "DemandMatrix":
-        """The sub-matrix containing only one QoS class's pairs."""
+        """The sub-matrix containing only one QoS class's pairs.
+
+        One columnar mask over the flat table — no per-pair loop.
+        """
         return DemandMatrix(
-            [p.select(p.qos == qos.value) for p in self._per_pair]
+            table=self._table.select(self._table.qos == qos.value)
         )
 
     def qos_share(self) -> dict[QoSClass, float]:

@@ -12,7 +12,6 @@ demand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
 import numpy as np
 

@@ -121,6 +121,45 @@ class TestDemandCollector:
         with pytest.raises(ValueError):
             FlowRecord(0, 1, bytes_sent=-1)
 
+    def test_build_matrix_order_deterministic(self, tiny_topology):
+        """Same reports, any ingest order -> identical matrix.
+
+        build_matrix sorts flows by (site pair, src, dst), so the
+        emitted columns must be byte-identical regardless of the order
+        agents happened to report in.
+        """
+        a, b = self._eps(tiny_topology)
+        records = [
+            FlowRecord(a[2], b[0], 4_000, qos=QoSClass.CLASS3),
+            FlowRecord(a[0], b[1], 2_000, qos=QoSClass.CLASS1),
+            FlowRecord(a[1], b[0], 3_000, qos=QoSClass.CLASS2),
+            FlowRecord(a[0], b[0], 1_000, qos=QoSClass.CLASS2),
+        ]
+        matrices = []
+        for ordering in (records, records[::-1]):
+            collector = DemandCollector(
+                tiny_topology, interval_seconds=100.0
+            )
+            for record in ordering:
+                collector.ingest(record)
+            matrices.append(collector.build_matrix())
+        first, second = matrices
+        np.testing.assert_array_equal(
+            first.table.volumes, second.table.volumes
+        )
+        np.testing.assert_array_equal(first.table.qos, second.table.qos)
+        np.testing.assert_array_equal(
+            first.table.src_endpoints, second.table.src_endpoints
+        )
+        np.testing.assert_array_equal(
+            first.table.dst_endpoints, second.table.dst_endpoints
+        )
+        # And the canonical order itself: (k, src, dst) ascending.
+        src = first.table.src_endpoints
+        dst = first.table.dst_endpoints
+        keys = list(zip(src.tolist(), dst.tolist()))
+        assert keys == sorted(keys)
+
     def test_end_to_end_with_host_stack(self, tiny_topology):
         """Host eBPF collection feeds the backend feeds the optimizer."""
         from repro.dataplane import (

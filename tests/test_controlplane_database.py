@@ -6,7 +6,6 @@ import pytest
 
 from repro.controlplane import (
     QueryRejected,
-    SHARD_CAPACITY_QPS,
     TEDatabase,
 )
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.exact import MAX_EXACT_VARIABLES, solve_max_all_flow
+from repro.core.exact import solve_max_all_flow
 from repro.core.formulation import MaxAllFlowProblem
 from repro.traffic import DemandMatrix
 

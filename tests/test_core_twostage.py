@@ -110,7 +110,6 @@ class TestQoSPriority:
         from repro.topology import SiteNetwork, build_tunnels
         from repro.topology.contraction import TwoLayerTopology
         from repro.topology.endpoints import EndpointLayout
-        from repro.topology.graph import Link
 
         net = SiteNetwork(name="costy")
         # Fast expensive path, slow cheap path.

@@ -18,7 +18,6 @@ from repro.dataplane.maps import (
     ENV_MAP,
     FRAG_MAP,
     INF_MAP,
-    PATH_MAP,
     TRAFFIC_MAP,
 )
 from repro.dataplane.packet import (

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.dataplane.packet import (
     ETH_HEADER_LEN,
-    ETHERTYPE_IPV4,
     EthernetHeader,
     FiveTuple,
     IPV4_HEADER_LEN,

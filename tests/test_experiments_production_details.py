@@ -10,7 +10,6 @@ import pytest
 from repro.core import MegaTEOptimizer, QoSClass
 from repro.experiments.production import (
     APP_PROFILES,
-    ProductionScenario,
     app_latency_ms,
     app_metric,
     build_production_scenario,

@@ -3,7 +3,6 @@ experiment scaffolding, and QoS-aware host behaviours."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.parallel import parallel_map

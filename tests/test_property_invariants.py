@@ -12,7 +12,6 @@ invariants the paper's formulation guarantees must hold on all of them:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import (

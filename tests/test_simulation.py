@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.baselines import ConventionalMCF
 from repro.core import (
     FlowAssignment,
     MegaTEOptimizer,
