@@ -45,7 +45,7 @@ def test_ablation_prediction(benchmark):
 
     def run():
         # Train on two days.
-        for day in range(2):
+        for _day in range(2):
             for n in range(24):
                 matrix = sequence.matrix(n)
                 for predictor in predictors.values():

@@ -18,7 +18,7 @@ from repro.core import BatchSSPInstance, fast_ssp, solve_ssp_batch
 def _make_instances(num=2_000, contended_fraction=0.1, seed=0):
     rng = np.random.default_rng(seed)
     instances = []
-    for i in range(num):
+    for _i in range(num):
         values = rng.lognormal(-1, 1, size=int(rng.integers(5, 80)))
         total = float(values.sum())
         if rng.uniform() < contended_fraction:

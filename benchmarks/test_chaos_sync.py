@@ -1,0 +1,68 @@
+"""Chaos study benchmark: sync availability under injected faults.
+
+Sweeps the fault-plan intensity through the chaos harness
+(:mod:`repro.experiments.chaos_sync`) and prints the availability /
+staleness table — Fig. 16's metric with the weather turned bad.  The
+graceful-degradation contract is asserted here: fair weather must be
+fully available, no intensity may break a chaos invariant, and the
+fleet must still converge on the final published version by the
+horizon.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import chaos_sync
+
+from conftest import run_once
+
+INTENSITIES = (0.0, 0.3, 0.6, 1.0)
+
+
+def test_chaos_sync_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        chaos_sync.run,
+        intensities=INTENSITIES,
+        num_agents=50,
+        num_shards=4,
+        horizon_s=600.0,
+        seed=0,
+    )
+
+    print("\nChaos sweep: sync availability vs fault intensity")
+    for r in rows:
+        print(
+            f"  intensity {r.intensity:.1f}: avail {r.availability:.3f}, "
+            f"poll ok {r.poll_success_rate:.3f}, "
+            f"stale p50/p99 {r.p50_staleness_s:.1f}/"
+            f"{r.p99_staleness_s:.1f}s, "
+            f"converged {r.final_converged_fraction:.2f}, "
+            f"faults {r.injected_faults}, "
+            f"resharded {r.resharded_keys}, "
+            f"violations {r.invariant_violations}"
+        )
+
+    fair = rows[0]
+    assert fair.intensity == 0.0
+    assert fair.availability == 1.0
+    assert fair.injected_faults == 0
+    assert fair.invariant_violations == 0
+
+    for r in rows:
+        # Graceful degradation: faults may cost availability but never
+        # correctness, and the fleet always ends on the final version.
+        assert r.invariant_violations == 0
+        assert 0.0 <= r.availability <= 1.0
+        assert r.availability >= 0.5
+        assert r.final_converged_fraction == 1.0
+        assert r.publishes == rows[0].publishes
+
+    benchmark.extra_info["availability"] = {
+        r.intensity: r.availability for r in rows
+    }
+    benchmark.extra_info["p99_staleness_s"] = {
+        r.intensity: r.p99_staleness_s for r in rows
+    }
+    benchmark.extra_info["injected_faults"] = {
+        r.intensity: r.injected_faults for r in rows
+    }

@@ -23,6 +23,8 @@ import json
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.controlplane import DemandCollector, FlowRecord
 from repro.core import MegaTEOptimizer, QoSClass
 from repro.experiments import run_interval_replay
@@ -31,6 +33,8 @@ from repro.simulation import compute_flow_latencies, simulate
 from repro.traffic import DiurnalSequence
 
 from conftest import run_once
+
+pytestmark = pytest.mark.perf
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_interval_solve.json"
 

@@ -19,6 +19,7 @@ import argparse
 import sys
 
 from .experiments import (
+    chaos_sync,
     database_study,
     fastssp_study,
     fig02,
@@ -323,6 +324,34 @@ def _cmd_fastssp(args) -> None:
     )
 
 
+def _cmd_chaos(args) -> None:
+    rows = chaos_sync.run(
+        intensities=tuple(args.intensities),
+        num_agents=args.agents,
+        num_shards=args.shards,
+        horizon_s=args.horizon,
+        seed=args.seed,
+    )
+    print(
+        "Chaos study: sync availability vs fault intensity "
+        f"({args.agents} agents, {args.shards} shards, "
+        f"{args.horizon:.0f}s horizon, seed {args.seed})"
+    )
+    print(
+        render_table(
+            ["intensity", "avail", "poll ok", "p50 stale",
+             "p99 stale", "converged", "faults", "violations"],
+            [
+                (r.intensity, r.availability, r.poll_success_rate,
+                 r.p50_staleness_s, r.p99_staleness_s,
+                 r.final_converged_fraction, r.injected_faults,
+                 r.invariant_violations)
+                for r in rows
+            ],
+        )
+    )
+
+
 _COMMANDS = {
     "fig02": _cmd_fig02,
     "fig08": _cmd_fig08,
@@ -336,6 +365,7 @@ _COMMANDS = {
     "fig15": _cmd_fig15,
     "fig16": _cmd_fig16,
     "fig17": _cmd_fig17,
+    "chaos": _cmd_chaos,
     "database": _cmd_database,
     "fastssp": _cmd_fastssp,
     "solve": _cmd_solve,
@@ -399,6 +429,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("database", help="sharded TE database load")
     p.add_argument("--endpoints", type=int, default=1_000_000)
     p.add_argument("--shards", type=int, default=2)
+
+    p = sub.add_parser(
+        "chaos", help="sync availability under injected store faults"
+    )
+    p.add_argument(
+        "--intensities", nargs="+", type=float,
+        default=[0.0, 0.3, 0.6, 1.0],
+    )
+    p.add_argument("--agents", type=int, default=50)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--horizon", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("fastssp", help="FastSSP accuracy study")
     p.add_argument("--instances", type=int, default=10)

@@ -1,6 +1,6 @@
 """Control plane: bottom-up, database-mediated TE config distribution."""
 
-from .agent import EndpointAgent
+from .agent import EndpointAgent, RetryPolicy
 from .collector import DemandCollector, FlowRecord
 from .consistency import (
     ConvergenceReport,
@@ -9,13 +9,37 @@ from .consistency import (
     spread_offsets,
 )
 from .controller import EndpointConfig, TEController, VERSION_KEY, config_key
-from .failover import FailoverTimeline, orchestrate_failover
-from .watcher import LinkEvent, LinkStateMonitor
+from .failover import (
+    FailoverTimeline,
+    ShardFailoverReport,
+    orchestrate_failover,
+    orchestrate_shard_failover,
+)
+from .faults import (
+    FaultPlan,
+    FaultStats,
+    FaultWindow,
+    FaultyTEDatabase,
+    ShardFaults,
+    ShardPartitioned,
+    ShardTimeout,
+    ShardUnavailable,
+    TransientShardError,
+    deterministic_uniform,
+    wrap_database,
+)
+from .watcher import (
+    LinkEvent,
+    LinkStateMonitor,
+    ShardHealthMonitor,
+    shard_link,
+)
 from .hybrid import HybridPlan, exposure_after_failure, plan_hybrid_sync
 from .database import (
     QueryRejected,
     SHARD_CAPACITY_QPS,
     ShardStats,
+    SyncError,
     TEDatabase,
 )
 from .sync import (
@@ -30,7 +54,24 @@ __all__ = [
     "TEDatabase",
     "ShardStats",
     "QueryRejected",
+    "SyncError",
     "SHARD_CAPACITY_QPS",
+    "FaultPlan",
+    "FaultStats",
+    "FaultWindow",
+    "FaultyTEDatabase",
+    "ShardFaults",
+    "ShardPartitioned",
+    "ShardTimeout",
+    "ShardUnavailable",
+    "TransientShardError",
+    "deterministic_uniform",
+    "wrap_database",
+    "RetryPolicy",
+    "ShardFailoverReport",
+    "orchestrate_shard_failover",
+    "ShardHealthMonitor",
+    "shard_link",
     "TEController",
     "EndpointConfig",
     "VERSION_KEY",

@@ -9,17 +9,81 @@ TC-layer program reads — see :mod:`repro.dataplane`).
 Agents are assigned offsets that spread their polls uniformly over the
 query window (e.g. 10 s), which is how two database shards absorb millions
 of endpoints (§3.2).
+
+Failure handling: a database query can fail — capacity rejection, or any
+injected fault from :mod:`repro.controlplane.faults`.  An agent given a
+:class:`RetryPolicy` retries with exponential backoff and *deterministic*
+jitter (derived from the policy seed and the endpoint id — no global RNG,
+so chaos runs replay exactly), under a per-poll wall-time budget.  When
+the budget or the retry cap is exhausted the agent degrades gracefully:
+it keeps serving its last-known-good config and tracks how stale that
+config is, so callers can tell "fresh", "stale but inside the bound", and
+"degraded" apart.  A version check that comes back *lower* than the
+installed version (a shard restored from a lagging replica) never rolls
+the agent back: configs are monotone.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
 from .controller import EndpointConfig, VERSION_KEY, config_key
-from .database import TEDatabase
+from .database import SyncError, TEDatabase
+from .faults import deterministic_uniform
 
-__all__ = ["EndpointAgent"]
+__all__ = ["EndpointAgent", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Attributes:
+        max_retries: Extra attempts after the first failure.
+        backoff_base_s: Delay before the first retry.
+        backoff_multiplier: Growth factor per retry.
+        backoff_cap_s: Upper bound on any single delay.
+        jitter: Fractional jitter: each delay is scaled by a factor
+            drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+        poll_budget_s: Total wall-time budget for one poll, backoff
+            included; retries stop once the budget would be exceeded.
+        seed: Seed for the jitter draws (combined with the endpoint id
+            and attempt number, so a fleet never thunders in lockstep
+            yet every run replays bit-for-bit).
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 8.0
+    jitter: float = 0.1
+    poll_budget_s: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.poll_budget_s <= 0:
+            raise ValueError("poll budget must be positive")
+
+    def delay_s(self, attempt: int, token: int = 0) -> float:
+        """The backoff before retry ``attempt`` (0-based), jittered."""
+        raw = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_multiplier**attempt,
+        )
+        if self.jitter == 0.0:
+            return raw
+        u = deterministic_uniform(self.seed, token, attempt)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * u)
 
 
 @dataclass
@@ -31,10 +95,26 @@ class EndpointAgent:
         poll_period_s: Seconds between version checks.
         poll_offset_s: Phase within the period (spreads load).
         local_version: Version of the currently installed config.
-        paths: Installed destination -> site-path mapping.
+        paths: Installed destination -> site-path mapping (the
+            last-known-good config; never cleared on failure).
         on_install: Optional callback invoked with the new
             :class:`EndpointConfig` after an update (e.g. to program the
             data plane's ``path_map``).
+        retry_policy: When set, failed polls are retried under the
+            policy and never raise; when None (the default) a poll is a
+            single attempt and database errors propagate — the
+            pre-fault-injection behaviour.
+        max_staleness_s: The agent's staleness bound: beyond this many
+            seconds without a successful refresh the agent reports
+            itself degraded (:meth:`is_degraded`) and
+            :meth:`serving_paths` stops vouching for its config.
+        last_refresh_s: Time of the last successful version check (the
+            moment the agent last *knew* it was as fresh as its shard).
+        failed_polls: Polls that exhausted retries (or the single
+            attempt, under a policy) without reaching the database.
+        retries: Individual retry attempts issued.
+        version_regressions: Version checks that came back lower than
+            the installed version (stale replica) and were ignored.
     """
 
     endpoint_id: int
@@ -43,6 +123,12 @@ class EndpointAgent:
     local_version: int = 0
     paths: dict[int, tuple[str, ...]] = field(default_factory=dict)
     on_install: Callable[[EndpointConfig], None] | None = None
+    retry_policy: RetryPolicy | None = None
+    max_staleness_s: float = math.inf
+    last_refresh_s: float = field(default=-math.inf, repr=False)
+    failed_polls: int = 0
+    retries: int = 0
+    version_regressions: int = 0
     _last_poll_slot: int = field(default=-1, repr=False)
 
     def next_poll_time(self, now: float) -> float:
@@ -57,14 +143,40 @@ class EndpointAgent:
             t += self.poll_period_s
         return t
 
-    def poll(self, database: TEDatabase, now: float) -> bool:
-        """Version-check and pull if stale.
+    # -- freshness -----------------------------------------------------------
 
-        Returns:
-            True when a new configuration was installed.
+    def staleness_s(self, now: float) -> float:
+        """Seconds since the agent last confirmed freshness (inf if never)."""
+        return now - self.last_refresh_s
+
+    def is_degraded(self, now: float) -> bool:
+        """Has the config outlived the agent's staleness bound?"""
+        return self.staleness_s(now) > self.max_staleness_s
+
+    def serving_paths(
+        self, now: float
+    ) -> dict[int, tuple[str, ...]] | None:
+        """The installed paths, if still within the staleness bound.
+
+        Degraded agents return ``None`` — the last-known-good config is
+        still in :attr:`paths` for callers that prefer stale routing to
+        no routing, but the agent no longer vouches for it.
         """
+        return None if self.is_degraded(now) else self.paths
+
+    # -- polling -------------------------------------------------------------
+
+    def _poll_once(self, database: TEDatabase, now: float) -> bool:
+        """One version-check-and-pull attempt; database errors propagate."""
         remote_version = database.get_version(VERSION_KEY, now=now)
-        if remote_version <= self.local_version:
+        if remote_version < self.local_version:
+            # A shard restored from a stale replica is reporting an old
+            # version.  Never roll back: keep last-known-good and do not
+            # count this as a refresh (the read is provably stale).
+            self.version_regressions += 1
+            return False
+        if remote_version == self.local_version:
+            self.last_refresh_s = now
             return False
         try:
             config, _ = database.get(
@@ -74,12 +186,46 @@ class EndpointAgent:
             # No config for this endpoint in the new version (it sources
             # no flows); track the version so we stop re-pulling.
             self.local_version = remote_version
+            self.last_refresh_s = now
             return False
         self.paths = dict(config.paths)
         self.local_version = remote_version
+        self.last_refresh_s = now
         if self.on_install is not None:
             self.on_install(config)
         return True
+
+    def poll(self, database: TEDatabase, now: float) -> bool:
+        """Version-check and pull if stale.
+
+        With no :attr:`retry_policy` this is a single attempt and any
+        :class:`~.database.SyncError` propagates.  With a policy, failed
+        attempts are retried under backoff within the poll budget; when
+        everything fails the agent keeps its last-known-good config and
+        returns False (degradation is visible via :meth:`staleness_s` /
+        :meth:`is_degraded`, never an exception).
+
+        Returns:
+            True when a new configuration was installed.
+        """
+        policy = self.retry_policy
+        if policy is None:
+            return self._poll_once(database, now)
+        deadline = now + policy.poll_budget_s
+        t = now
+        for attempt in range(policy.max_retries + 1):
+            try:
+                return self._poll_once(database, t)
+            except SyncError:
+                if attempt >= policy.max_retries:
+                    break
+                delay = policy.delay_s(attempt, token=self.endpoint_id)
+                if t + delay > deadline:
+                    break
+                t += delay
+                self.retries += 1
+        self.failed_polls += 1
+        return False
 
     def maybe_poll(self, database: TEDatabase, now: float) -> bool:
         """Poll only when ``now`` lands on a new scheduled slot."""

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .agent import EndpointAgent
-from .database import TEDatabase
+from .database import SyncError, TEDatabase
 
 __all__ = [
     "ConvergenceReport",
@@ -115,6 +115,12 @@ def simulate_convergence(
     Returns:
         A :class:`ConvergenceReport` (agents that never updated get
         ``inf`` delay).
+
+    A failed poll — capacity rejection or an injected fault when the
+    database is wrapped in a :class:`~.faults.FaultyTEDatabase` — never
+    aborts the simulation: the agent simply has not converged yet and
+    keeps polling on its schedule (agents with a retry policy handle
+    the error themselves; bare agents have it swallowed here).
     """
     if not agents:
         return ConvergenceReport(
@@ -132,7 +138,11 @@ def simulate_convergence(
         for idx, agent in enumerate(agents):
             if np.isfinite(delays[idx]):
                 continue
-            if agent.maybe_poll(database, now=t):
+            try:
+                updated = agent.maybe_poll(database, now=t)
+            except SyncError:
+                updated = False
+            if updated:
                 delays[idx] = t - publish_time
         t += tick_s
     return ConvergenceReport(update_delays_s=delays, poll_period_s=period)

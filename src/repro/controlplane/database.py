@@ -13,16 +13,26 @@ cheap "is there anything new?" check of the bottom-up control loop.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-__all__ = ["ShardStats", "TEDatabase", "QueryRejected"]
+__all__ = ["ShardStats", "SyncError", "TEDatabase", "QueryRejected"]
 
 #: Queries per second one shard sustains (two shards -> 160k, §3.2).
 SHARD_CAPACITY_QPS = 80_000
 
 
-class QueryRejected(RuntimeError):
+class SyncError(RuntimeError):
+    """Base class for every sync-plane query failure.
+
+    Agents and other database callers that want to survive *any* store
+    failure — capacity rejection or an injected fault from
+    :mod:`repro.controlplane.faults` — catch this one type.
+    """
+
+
+class QueryRejected(SyncError):
     """Raised when a shard's per-second query capacity is exhausted."""
 
 
@@ -85,23 +95,35 @@ class TEDatabase:
     # -- internals ----------------------------------------------------------
 
     def shard_of(self, key: Hashable) -> int:
-        """Deterministic shard assignment by key hash."""
-        return hash(key) % self.num_shards
+        """Deterministic shard assignment by key hash.
+
+        String and bytes keys hash via CRC-32 rather than ``hash()``,
+        whose per-process salt (``PYTHONHASHSEED``) would give every
+        run a different key-to-shard layout — chaos runs and the CI
+        seed matrix need layouts that replay across processes.
+        """
+        if isinstance(key, str):
+            h = zlib.crc32(key.encode("utf-8"))
+        elif isinstance(key, bytes):
+            h = zlib.crc32(key)
+        else:
+            h = hash(key)
+        return h % self.num_shards
 
     def _account(self, shard: int, now: float) -> None:
         second = int(now)
         loads = self._second_load[shard]
-        loads[second] = loads.get(second, 0) + 1
+        attempted = loads.get(second, 0) + 1
         stats = self._stats[shard]
-        stats.peak_qps = max(stats.peak_qps, loads[second])
-        if (
-            self.enforce_capacity
-            and loads[second] > self.shard_capacity_qps
-        ):
+        if self.enforce_capacity and attempted > self.shard_capacity_qps:
+            # The shard never served this query: count the rejection but
+            # leave the served-load counters (and peak_qps) untouched.
             stats.rejected += 1
             raise QueryRejected(
                 f"shard {shard} over capacity at t={second}s"
             )
+        loads[second] = attempted
+        stats.peak_qps = max(stats.peak_qps, attempted)
         stats.queries += 1
 
     # -- API ----------------------------------------------------------------
@@ -136,6 +158,72 @@ class TEDatabase:
         self._account(shard, now)
         stored = self._data[shard].get(key)
         return stored.version if stored else 0
+
+    # -- shard-addressed API -------------------------------------------------
+    #
+    # The plain API above routes every key through ``shard_of``.  Wrappers
+    # that need to re-home keys (the fault-injection layer's re-sharding,
+    # :func:`repro.controlplane.failover.orchestrate_shard_failover`)
+    # address shards explicitly instead.  Semantics are identical to the
+    # plain API when ``shard == shard_of(key)``.
+
+    def account(self, shard: int, now: float) -> None:
+        """Charge one query to ``shard``'s per-second capacity bucket.
+
+        Raises:
+            QueryRejected: when the shard is over capacity this second.
+        """
+        self._account(shard, now)
+
+    def write_to_shard(
+        self,
+        shard: int,
+        key: Hashable,
+        value: Any,
+        now: float = 0.0,
+        version: int | None = None,
+        account: bool = True,
+    ) -> int:
+        """Store ``key`` on an explicit shard.
+
+        Args:
+            version: Explicit version to store (replica restores and key
+                migrations preserve versions); defaults to incrementing
+                the shard's current entry.
+            account: Charge the write against shard capacity.  Internal
+                replica-side restores run out of band and pass False.
+        """
+        if account:
+            self._account(shard, now)
+        if version is None:
+            existing = self._data[shard].get(key)
+            version = (existing.version + 1) if existing else 1
+        self._data[shard][key] = _VersionedValue(value=value, version=version)
+        return version
+
+    def read_from_shard(
+        self, shard: int, key: Hashable, now: float = 0.0
+    ) -> tuple[Any, int]:
+        """Read ``(value, version)`` from an explicit shard."""
+        self._account(shard, now)
+        stored = self._data[shard][key]
+        return stored.value, stored.version
+
+    def version_from_shard(
+        self, shard: int, key: Hashable, now: float = 0.0
+    ) -> int:
+        """Read only the version from an explicit shard (0 if absent)."""
+        self._account(shard, now)
+        stored = self._data[shard].get(key)
+        return stored.version if stored else 0
+
+    def shard_keys(self, shard: int) -> list[Hashable]:
+        """Keys currently stored on ``shard`` (no capacity charge)."""
+        return list(self._data[shard])
+
+    def drop_from_shard(self, shard: int, key: Hashable) -> None:
+        """Remove a key from an explicit shard (no capacity charge)."""
+        self._data[shard].pop(key, None)
 
     # -- introspection -------------------------------------------------------
 

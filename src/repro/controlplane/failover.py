@@ -20,14 +20,21 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..simulation.failures import surviving_volume
+from .faults import FaultyTEDatabase
 from .hybrid import HybridPlan
+from .watcher import ShardHealthMonitor
 
 if TYPE_CHECKING:
     from ..topology.contraction import TwoLayerTopology
     from ..topology.failures import FailureScenario
     from ..traffic.demand import DemandMatrix
 
-__all__ = ["FailoverTimeline", "orchestrate_failover"]
+__all__ = [
+    "FailoverTimeline",
+    "orchestrate_failover",
+    "ShardFailoverReport",
+    "orchestrate_shard_failover",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,7 @@ def orchestrate_failover(
     hybrid_plan: HybridPlan | None = None,
     endpoint_volumes: np.ndarray | None = None,
     runtime_scale: float = 1.0,
+    database_outage_s: float = 0.0,
 ) -> FailoverTimeline:
     """Walk one failure through recompute + convergence.
 
@@ -82,10 +90,17 @@ def orchestrate_failover(
         endpoint_volumes: Per-endpoint volumes matching the hybrid plan
             (required when ``hybrid_plan`` is given).
         runtime_scale: Maps measured solver runtime to testbed scale.
+        database_outage_s: Seconds the TE database stays unreachable
+            after the recompute finishes (a correlated sync-plane
+            fault): the pulled fleet cannot start converging until the
+            store is back, so its stale plateau extends by the outage.
+            Pushed endpoints (persistent connections) are unaffected.
 
     Returns:
         A :class:`FailoverTimeline`.
     """
+    if database_outage_s < 0:
+        raise ValueError("database outage must be non-negative")
     if hybrid_plan is not None and endpoint_volumes is None:
         raise ValueError("hybrid_plan requires endpoint_volumes")
     before = solver.solve(topology, demands)
@@ -116,16 +131,25 @@ def orchestrate_failover(
                 / vol_total
             )
     pulled_share = 1.0 - pushed_share
-    convergence = (
-        pushed_share * steady
-        + pulled_share * (surviving + steady) / 2.0
-    )
+    # Pulled endpoints sit on the stale plateau while the database is
+    # down, then ramp linearly to the new config over one poll period;
+    # the mean over the whole window blends the two segments.  With no
+    # outage this is the plain midpoint ramp.
+    pulled_window = database_outage_s + poll_period_s
+    if pulled_window > 0:
+        pulled_mean = (
+            database_outage_s * surviving
+            + poll_period_s * (surviving + steady) / 2.0
+        ) / pulled_window
+    else:
+        pulled_mean = steady
+    convergence = pushed_share * steady + pulled_share * pulled_mean
 
     recompute = min(
         after.runtime_s * runtime_scale, interval_seconds
     )
     convergence_window = min(
-        poll_period_s, max(0.0, interval_seconds - recompute)
+        pulled_window, max(0.0, interval_seconds - recompute)
     )
     steady_window = max(
         0.0, interval_seconds - recompute - convergence_window
@@ -143,4 +167,72 @@ def orchestrate_failover(
         convergence_seconds=convergence_window,
         interval_seconds=interval_seconds,
         effective_fraction=effective,
+    )
+
+
+@dataclass(frozen=True)
+class ShardFailoverReport:
+    """What one sync-plane failover pass did.
+
+    Attributes:
+        crashed_shards: Shards found down at ``now``.
+        resharded_keys: Keys migrated off crashed shards this pass.
+        reconciled_shards: Restarted shards brought back to fresh state.
+    """
+
+    crashed_shards: tuple[int, ...]
+    resharded_keys: int
+    reconciled_shards: tuple[int, ...]
+
+    @property
+    def acted(self) -> bool:
+        return bool(self.resharded_keys or self.reconciled_shards)
+
+
+def orchestrate_shard_failover(
+    database: FaultyTEDatabase,
+    now: float,
+    monitor: ShardHealthMonitor | None = None,
+) -> ShardFailoverReport:
+    """One detect → re-shard → reconcile pass over the sync plane.
+
+    The data-plane failover above handles fibers; this handles the
+    *store* the fleet pulls from.  Each pass probes every shard, feeds
+    the hysteresis monitor (when given), migrates keys away from shards
+    declared down so agents keep finding their configs, and reconciles
+    shards that restarted — restoring authoritative versions over any
+    stale-replica state and sending migrated keys home.
+
+    Drive it periodically (each simulation tick, or each probe
+    interval) the way :class:`~.watcher.LinkStateMonitor` is driven for
+    fibers.
+
+    Args:
+        database: The fault-wrapped TE database.
+        now: Current time.
+        monitor: Optional :class:`~.watcher.ShardHealthMonitor`; when
+            given, re-sharding waits for its hysteresis to declare a
+            shard down (one lost probe does not trigger a migration),
+            and probes are fed automatically.
+
+    Returns:
+        A :class:`ShardFailoverReport` for this pass.
+    """
+    unhealthy = database.unhealthy_shards(now)
+    if monitor is not None:
+        for shard in range(database.num_shards):
+            monitor.observe_shard(
+                shard, shard not in unhealthy, now=now
+            )
+        act_on = [
+            s for s in monitor.failed_shards() if s in unhealthy
+        ]
+    else:
+        act_on = unhealthy
+    moved = database.reshard(now, shards=act_on) if act_on else 0
+    reconciled = database.reconcile_restarted(now)
+    return ShardFailoverReport(
+        crashed_shards=tuple(database.crashed_shards(now)),
+        resharded_keys=moved,
+        reconciled_shards=tuple(reconciled),
     )

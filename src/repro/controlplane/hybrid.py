@@ -110,6 +110,7 @@ def exposure_after_failure(
     plan: HybridPlan,
     poll_period_s: float = 10.0,
     affected_fraction: float = 1.0,
+    database_outage_s: float = 0.0,
 ) -> float:
     """Traffic-seconds exposed to stale configs after a failure publish.
 
@@ -126,16 +127,23 @@ def exposure_after_failure(
         poll_period_s: The pulled tail's poll period.
         affected_fraction: Fraction of traffic actually crossing failed
             tunnels (scales the exposure).
+        database_outage_s: Seconds the TE database is unreachable after
+            the publish (a correlated sync-plane fault): every pulled
+            endpoint's convergence is delayed by the outage on top of
+            its poll slot, so the mean stale delay grows by exactly the
+            outage.  Pushed endpoints are unaffected.
     """
     if poll_period_s <= 0:
         raise ValueError("poll period must be positive")
     if not 0.0 <= affected_fraction <= 1.0:
         raise ValueError("affected_fraction must be a fraction")
+    if database_outage_s < 0:
+        raise ValueError("database outage must be non-negative")
     volumes = np.asarray(endpoint_volumes, dtype=np.float64)
     order = np.argsort(-volumes, kind="stable")
     total = float(volumes.sum())
     if total <= 0:
         return 0.0
     pulled_volume = float(volumes[order[plan.pushed_endpoints :]].sum())
-    mean_delay = poll_period_s / 2.0
+    mean_delay = database_outage_s + poll_period_s / 2.0
     return affected_fraction * (pulled_volume / total) * mean_delay

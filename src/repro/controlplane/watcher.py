@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["LinkEvent", "LinkStateMonitor"]
+__all__ = [
+    "LinkEvent",
+    "LinkStateMonitor",
+    "ShardHealthMonitor",
+    "shard_link",
+]
 
 
 @dataclass(frozen=True)
@@ -120,3 +125,38 @@ class LinkStateMonitor:
         if probe_interval_s <= 0:
             raise ValueError("probe interval must be positive")
         return probe_interval_s * self.down_after
+
+
+def shard_link(shard: int) -> tuple[str, str]:
+    """The virtual link key standing for one TE-database shard."""
+    return ("db", f"shard:{shard}")
+
+
+class ShardHealthMonitor(LinkStateMonitor):
+    """Link-state hysteresis applied to TE-database shards.
+
+    The same detector that declares fibers down (§6.3) watches the sync
+    plane: each shard is a virtual link probed by health checks, a shard
+    is declared down after ``down_after`` consecutive probe failures,
+    and declared transitions feed the failover orchestrator
+    (:func:`repro.controlplane.failover.orchestrate_shard_failover`) —
+    re-shard on down, reconcile on up.
+    """
+
+    def observe_shard(
+        self, shard: int, alive: bool, now: float = 0.0
+    ) -> LinkEvent | None:
+        """Feed one shard health probe; returns a declared transition."""
+        return self.observe(shard_link(shard), alive, now=now)
+
+    def shard_is_up(self, shard: int) -> bool:
+        """Current declared state (unprobed shards are up)."""
+        return self.is_up(shard_link(shard))
+
+    def failed_shards(self) -> list[int]:
+        """Shards currently declared down, ascending."""
+        return sorted(
+            int(dst.split(":", 1)[1])
+            for src, dst in self.failed_links()
+            if src == "db" and dst.startswith("shard:")
+        )

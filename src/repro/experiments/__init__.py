@@ -15,10 +15,12 @@ fig16           Fig. 16 production availability timeline
 fig17           Fig. 17 production cost reductions
 database_study  §6.4 sharded TE database load
 fastssp_study   App. A.2 FastSSP accuracy & error bound
+chaos_sync      Fig. 16's shape under injected store faults
 =============== ==============================================
 """
 
 from . import (
+    chaos_sync,
     database_study,
     fastssp_study,
     fig02,
@@ -57,6 +59,7 @@ __all__ = [
     "fig16",
     "fig17",
     "table02",
+    "chaos_sync",
     "database_study",
     "fastssp_study",
     "Scenario",

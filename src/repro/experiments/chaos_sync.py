@@ -1,0 +1,374 @@
+"""Chaos study: sync-plane availability under injected store faults.
+
+Figure 16 shows MegaTE's availability across the rollout under
+fair-weather conditions; this study replicates the shape of that claim
+with the weather turned bad.  A fleet of retrying endpoint agents polls
+a fault-wrapped TE database (:mod:`repro.controlplane.faults`) while a
+publisher keeps pushing new config versions through the same faulty
+store, and a shard-failover pass (detect → re-shard → reconcile) runs on
+every tick.  Sweeping the fault intensity yields the availability and
+config-staleness CDF versus fault intensity — the degraded-conditions
+counterpart of Fig. 16.
+
+The whole simulation is deterministic from its seed: fault schedules,
+error coins, retry jitter, and poll offsets all derive from explicit
+seeds, and time is the simulation clock.  Invariants are checked *inside*
+the loop on every sample (never-newer-than-published, monotone versions,
+staleness bound honoured) and surface in the row, so the chaos property
+suite and the bench share one harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..controlplane import (
+    EndpointAgent,
+    FaultPlan,
+    FaultyTEDatabase,
+    RetryPolicy,
+    ShardHealthMonitor,
+    SyncError,
+    TEDatabase,
+    VERSION_KEY,
+    config_key,
+    orchestrate_shard_failover,
+    spread_offsets,
+)
+from ..controlplane.controller import EndpointConfig
+
+__all__ = ["ChaosSyncRow", "ChaosSimResult", "simulate", "run"]
+
+
+@dataclass(frozen=True)
+class ChaosSyncRow:
+    """One fault-intensity point of the chaos sweep.
+
+    Attributes:
+        intensity: Fault-plan intensity in [0, 1].
+        seed: Fault-plan seed.
+        num_agents: Fleet size simulated.
+        availability: Fraction of agent-tick samples within the
+            staleness SLO (the Fig. 16 metric under injected faults).
+        poll_success_rate: Polls that reached the database (retries
+            included) over polls attempted.
+        mean_staleness_s: Mean sampled config staleness.
+        p50_staleness_s: Median sampled staleness.
+        p99_staleness_s: 99th-percentile sampled staleness.
+        max_staleness_s: Worst sampled staleness.
+        final_converged_fraction: Agents on the newest published
+            version at the horizon.
+        publishes: Versions fully published (version key landed).
+        failed_polls: Poll slots that exhausted their retry budget.
+        retries: Individual retry attempts across the fleet.
+        version_regressions: Stale-replica version checks ignored.
+        injected_faults: Total injected failures (all classes).
+        resharded_keys: Keys migrated off crashed shards.
+        invariant_violations: Samples breaking a chaos invariant
+            (always 0 unless the sync plane is broken).
+    """
+
+    intensity: float
+    seed: int
+    num_agents: int
+    availability: float
+    poll_success_rate: float
+    mean_staleness_s: float
+    p50_staleness_s: float
+    p99_staleness_s: float
+    max_staleness_s: float
+    final_converged_fraction: float
+    publishes: int
+    failed_polls: int
+    retries: int
+    version_regressions: int
+    injected_faults: int
+    resharded_keys: int
+    invariant_violations: int
+
+
+@dataclass
+class ChaosSimResult:
+    """Full simulation state, for the property suite.
+
+    Attributes:
+        row: The summary row.
+        agents: The fleet, in its final state.
+        database: The fault-wrapped database.
+        published_version: Newest fully published version.
+        staleness_samples: Every (agent, tick) staleness sample taken.
+        violations: Human-readable invariant violations (empty unless
+            the sync plane is broken).
+    """
+
+    row: ChaosSyncRow
+    agents: list[EndpointAgent]
+    database: FaultyTEDatabase
+    published_version: int
+    staleness_samples: np.ndarray
+    violations: list[str] = field(default_factory=list)
+
+
+class _Publisher:
+    """Writes config versions through the faulty store, resumably.
+
+    Mirrors :class:`~repro.controlplane.controller.TEController`'s write
+    ordering — configs first, the version key strictly last — but
+    survives mid-publish faults: failed writes stay queued and resume
+    on the next tick, so an agent that sees the new version is still
+    guaranteed to find the new configs.
+    """
+
+    def __init__(
+        self, database: FaultyTEDatabase, num_agents: int
+    ) -> None:
+        self.database = database
+        self.num_agents = num_agents
+        self.published_version = 0
+        self._target_version = 0
+        self._pending: list[int] = []
+        self._flip_pending = False
+
+    def start(self, version: int) -> None:
+        """Queue a publish (supersedes any still-pending one)."""
+        self._target_version = version
+        self._pending = list(range(self.num_agents))
+        self._flip_pending = True
+
+    def pump(self, now: float, budget: int = 1000) -> None:
+        """Push queued writes until one fails or the queue drains."""
+        if not self._flip_pending:
+            return
+        wrote = 0
+        while self._pending and wrote < budget:
+            endpoint = self._pending[0]
+            config = EndpointConfig(
+                endpoint_id=endpoint,
+                version=self._target_version,
+                paths={
+                    (endpoint + 1)
+                    % self.num_agents: ("siteA", "siteB")
+                },
+            )
+            try:
+                self.database.put(
+                    config_key(endpoint), config, now=now
+                )
+            except SyncError:
+                return  # resume next tick
+            self._pending.pop(0)
+            wrote += 1
+        if self._pending:
+            return
+        try:
+            stored = self.database.put(VERSION_KEY, None, now=now)
+        except SyncError:
+            return  # version flip resumes next tick
+        self.published_version = stored
+        self._flip_pending = False
+
+
+def simulate(
+    intensity: float,
+    seed: int = 0,
+    num_agents: int = 50,
+    num_shards: int = 4,
+    horizon_s: float = 600.0,
+    publish_period_s: float = 150.0,
+    poll_period_s: float = 10.0,
+    staleness_slo_s: float | None = None,
+    tick_s: float = 1.0,
+    manage_failover: bool = True,
+) -> ChaosSimResult:
+    """Run one seeded chaos simulation and check invariants throughout.
+
+    Args:
+        intensity: Fault-plan intensity (0 = fair weather).
+        seed: Seed for the fault plan, poll offsets, and retry jitter.
+        num_agents: Endpoint fleet size.
+        num_shards: TE database shards.
+        horizon_s: Simulated duration.
+        publish_period_s: Seconds between version publishes.
+        poll_period_s: Agent poll period.
+        staleness_slo_s: Staleness SLO; defaults to three poll periods.
+        tick_s: Simulation tick.
+        manage_failover: Run the shard detect/re-shard/reconcile pass
+            each tick (the production posture); disable to measure the
+            unmanaged store.
+    """
+    if staleness_slo_s is None:
+        staleness_slo_s = 3.0 * poll_period_s
+    inner = TEDatabase(
+        num_shards=num_shards,
+        shard_capacity_qps=1_000_000,
+        enforce_capacity=True,
+    )
+    plan = FaultPlan.generate(
+        seed=seed,
+        num_shards=num_shards,
+        horizon_s=horizon_s,
+        intensity=intensity,
+    )
+    database = FaultyTEDatabase(inner, plan)
+    offsets = spread_offsets(num_agents, poll_period_s, seed=seed)
+    agents = [
+        EndpointAgent(
+            endpoint_id=e,
+            poll_period_s=poll_period_s,
+            poll_offset_s=float(offsets[e]),
+            retry_policy=RetryPolicy(
+                max_retries=3,
+                backoff_base_s=0.2,
+                backoff_cap_s=2.0,
+                poll_budget_s=poll_period_s / 2.0,
+                seed=seed,
+            ),
+            max_staleness_s=staleness_slo_s,
+        )
+        for e in range(num_agents)
+    ]
+    monitor = ShardHealthMonitor(down_after=2, up_after=1)
+    publisher = _Publisher(database, num_agents)
+
+    violations: list[str] = []
+    prev_versions = [0] * num_agents
+    samples: list[float] = []
+    fresh_samples = 0
+    total_samples = 0
+    resharded = 0
+    warmup_s = poll_period_s + tick_s
+
+    next_publish = 0.0
+    publish_count = 0
+    t = 0.0
+    while t <= horizon_s:
+        if manage_failover:
+            report = orchestrate_shard_failover(
+                database, t, monitor=monitor
+            )
+            resharded += report.resharded_keys
+        # Publish on schedule, but leave the fleet at least one poll
+        # period to converge on the final version before the horizon.
+        if (
+            t >= next_publish
+            and t <= horizon_s - poll_period_s - tick_s
+        ):
+            publish_count += 1
+            publisher.start(publish_count)
+            next_publish += publish_period_s
+        publisher.pump(t)
+        for agent in agents:
+            agent.maybe_poll(database, now=t)
+        published = publisher.published_version
+        for idx, agent in enumerate(agents):
+            if agent.local_version > published:
+                violations.append(
+                    f"t={t:.0f}s agent {idx} at v{agent.local_version} "
+                    f"> published v{published}"
+                )
+            if agent.local_version < prev_versions[idx]:
+                violations.append(
+                    f"t={t:.0f}s agent {idx} rolled back "
+                    f"v{prev_versions[idx]} -> v{agent.local_version}"
+                )
+            prev_versions[idx] = agent.local_version
+            if t < warmup_s:
+                continue
+            staleness = agent.staleness_s(t)
+            samples.append(staleness)
+            total_samples += 1
+            serving = agent.serving_paths(t)
+            if serving is not None:
+                fresh_samples += 1
+                if staleness > agent.max_staleness_s:
+                    violations.append(
+                        f"t={t:.0f}s agent {idx} served a config "
+                        f"{staleness:.1f}s stale past its "
+                        f"{agent.max_staleness_s:.1f}s bound"
+                    )
+        t += tick_s
+
+    published = publisher.published_version
+    staleness_arr = np.asarray(samples, dtype=np.float64)
+    finite = staleness_arr[np.isfinite(staleness_arr)]
+    slots_per_agent = max(
+        0, int((horizon_s - 0.0) // poll_period_s) + 1
+    )
+    total_polls = slots_per_agent * num_agents
+    failed = sum(a.failed_polls for a in agents)
+    row = ChaosSyncRow(
+        intensity=intensity,
+        seed=seed,
+        num_agents=num_agents,
+        availability=(
+            fresh_samples / total_samples if total_samples else 1.0
+        ),
+        poll_success_rate=(
+            1.0 - failed / total_polls if total_polls else 1.0
+        ),
+        mean_staleness_s=(
+            float(finite.mean()) if finite.size else float("inf")
+        ),
+        p50_staleness_s=(
+            float(np.percentile(finite, 50))
+            if finite.size
+            else float("inf")
+        ),
+        p99_staleness_s=(
+            float(np.percentile(finite, 99))
+            if finite.size
+            else float("inf")
+        ),
+        max_staleness_s=(
+            float(staleness_arr.max())
+            if staleness_arr.size
+            else 0.0
+        ),
+        final_converged_fraction=(
+            sum(a.local_version == published for a in agents)
+            / num_agents
+            if num_agents
+            else 1.0
+        ),
+        publishes=published,
+        failed_polls=failed,
+        retries=sum(a.retries for a in agents),
+        version_regressions=sum(
+            a.version_regressions for a in agents
+        ),
+        injected_faults=database.injected.total_injected,
+        resharded_keys=resharded,
+        invariant_violations=len(violations),
+    )
+    return ChaosSimResult(
+        row=row,
+        agents=agents,
+        database=database,
+        published_version=published,
+        staleness_samples=staleness_arr,
+        violations=violations,
+    )
+
+
+def run(
+    intensities: tuple[float, ...] = (0.0, 0.3, 0.6, 1.0),
+    num_agents: int = 50,
+    num_shards: int = 4,
+    horizon_s: float = 600.0,
+    seed: int = 0,
+    **kwargs,
+) -> list[ChaosSyncRow]:
+    """Sweep fault intensity; one :class:`ChaosSyncRow` per point."""
+    return [
+        simulate(
+            intensity,
+            seed=seed,
+            num_agents=num_agents,
+            num_shards=num_shards,
+            horizon_s=horizon_s,
+            **kwargs,
+        ).row
+        for intensity in intensities
+    ]

@@ -91,3 +91,75 @@ class TestCapacityAccounting:
         assert db.total_queries() == 0
         value, _ = db.get("a")
         assert value == 42
+
+    def test_rejected_query_does_not_inflate_peak_qps(self):
+        # Regression: a rejected query was counted into peak_qps even
+        # though the shard never served it, so the reported peak could
+        # exceed the shard's capacity.
+        db = TEDatabase(num_shards=1, shard_capacity_qps=3)
+        for _ in range(3):
+            db.get_version("k", now=5.0)
+        with pytest.raises(QueryRejected):
+            db.get_version("k", now=5.5)
+        stats = db.stats(0)
+        assert stats.peak_qps == 3  # not 4
+        assert stats.rejected == 1
+        assert stats.queries == 3
+
+    def test_rejections_do_not_consume_capacity(self):
+        # Rejected queries leave the per-second bucket untouched: the
+        # served count in one second never exceeds capacity, however
+        # many attempts arrive.
+        db = TEDatabase(num_shards=1, shard_capacity_qps=2)
+        db.get_version("k", now=9.0)
+        db.get_version("k", now=9.1)
+        for _ in range(5):
+            with pytest.raises(QueryRejected):
+                db.get_version("k", now=9.2)
+        assert db.stats(0).queries == 2
+        assert db.stats(0).rejected == 5
+        assert db.stats(0).peak_qps == 2
+
+
+class TestShardAddressedAPI:
+    def test_write_read_roundtrip_on_explicit_shard(self):
+        db = TEDatabase(num_shards=4)
+        home = db.shard_of("k")
+        other = (home + 1) % 4
+        version = db.write_to_shard(other, "k", "v", now=0.0)
+        assert version == 1
+        assert db.read_from_shard(other, "k", now=0.0) == ("v", 1)
+        # The plain API still routes to the hash home, which is empty.
+        with pytest.raises(KeyError):
+            db.get("k", now=0.0)
+
+    def test_explicit_version_preserved(self):
+        db = TEDatabase(num_shards=2)
+        db.write_to_shard(0, "k", "old", now=0.0, version=7)
+        assert db.version_from_shard(0, "k", now=0.0) == 7
+        # Without an explicit version the shard's entry increments.
+        assert db.write_to_shard(0, "k", "new", now=0.0) == 8
+
+    def test_unaccounted_write_skips_capacity(self):
+        db = TEDatabase(num_shards=1, shard_capacity_qps=1)
+        db.get_version("k", now=0.0)  # exhaust this second
+        # A replica-side restore is out of band: no rejection.
+        db.write_to_shard(0, "k", "v", now=0.0, account=False)
+        with pytest.raises(QueryRejected):
+            db.write_to_shard(0, "k", "v", now=0.0, account=True)
+
+    def test_shard_keys_and_drop(self):
+        db = TEDatabase(num_shards=2)
+        db.write_to_shard(1, "a", 1, account=False)
+        db.write_to_shard(1, "b", 2, account=False)
+        assert sorted(db.shard_keys(1)) == ["a", "b"]
+        db.drop_from_shard(1, "a")
+        assert db.shard_keys(1) == ["b"]
+        db.drop_from_shard(1, "missing")  # no-op
+
+    def test_matches_plain_api_on_home_shard(self):
+        db = TEDatabase(num_shards=2)
+        version = db.put("k", "v", now=0.0)
+        home = db.shard_of("k")
+        assert db.read_from_shard(home, "k", now=0.0) == ("v", version)
+        assert db.version_from_shard(home, "k", now=0.0) == version

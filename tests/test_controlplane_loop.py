@@ -7,6 +7,8 @@ import pytest
 
 from repro.controlplane import (
     EndpointAgent,
+    QueryRejected,
+    RetryPolicy,
     TEController,
     TEDatabase,
     VERSION_KEY,
@@ -112,6 +114,83 @@ class TestAgent:
         assert not agent.maybe_poll(db, now=4.0)  # same slot
         # Next slot, but nothing new to pull.
         assert not agent.maybe_poll(db, now=13.5)
+
+    def test_maybe_poll_exactly_at_slot_time(self, published):
+        # A tick landing exactly on the scheduled instant must poll:
+        # the slot boundary is inclusive.
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        agent = EndpointAgent(
+            endpoint_id=src, poll_period_s=10.0, poll_offset_s=3.0
+        )
+        assert agent.maybe_poll(db, now=3.0)  # exactly the offset
+        assert agent.local_version == 1
+        # Exactly the next slot boundary: polled (no new version).
+        queries_before = db.total_queries()
+        assert not agent.maybe_poll(db, now=13.0)
+        assert db.total_queries() == queries_before + 1
+
+    def test_maybe_poll_at_zero_offset_zero_now(self, published):
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        agent = EndpointAgent(endpoint_id=src, poll_period_s=10.0)
+        assert agent.maybe_poll(db, now=0.0)
+
+    def test_version_regression_never_rolls_back(self, published):
+        # A shard restored from a stale replica reports an *older*
+        # version; the agent must keep its installed config.
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        agent = EndpointAgent(endpoint_id=src)
+        assert agent.poll(db, now=1.0)
+        paths_before = dict(agent.paths)
+
+        class _StaleReplica:
+            """Version check answers an old version; reads delegate."""
+
+            def get_version(self, key, now=0.0):
+                return 0
+
+            def get(self, key, now=0.0):
+                return db.get(key, now=now)
+
+        assert not agent.poll(_StaleReplica(), now=2.0)
+        assert agent.local_version == 1
+        assert agent.paths == paths_before
+        assert agent.version_regressions == 1
+        # The regressed read is provably stale: not a freshness proof.
+        assert agent.last_refresh_s == 1.0
+
+    def test_repeated_rejection_raises_without_policy(self, published):
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        agent = EndpointAgent(endpoint_id=src)
+        agent.poll(db, now=1.0)
+        tiny = TEDatabase(num_shards=1, shard_capacity_qps=1)
+        tiny.get_version("x", now=50.0)  # exhaust the second
+        # Legacy behaviour: no retry policy -> the error propagates.
+        with pytest.raises(QueryRejected):
+            agent.poll(tiny, now=50.0)
+
+    def test_repeated_rejection_degrades_with_policy(self, published):
+        db, _, result = published
+        src = int(result.demands.pair(0).src_endpoints[0])
+        agent = EndpointAgent(
+            endpoint_id=src,
+            retry_policy=RetryPolicy(max_retries=2, jitter=0.0),
+        )
+        agent.poll(db, now=1.0)
+        paths_before = dict(agent.paths)
+        overloaded = TEDatabase(num_shards=1, shard_capacity_qps=1)
+        # Saturate a wide window so every retry lands on a full second.
+        for second in range(50, 70):
+            overloaded.get_version("x", now=float(second))
+        assert not agent.poll(overloaded, now=50.0)
+        assert agent.failed_polls == 1
+        assert agent.retries == 2
+        # Graceful degradation: last-known-good config retained.
+        assert agent.paths == paths_before
+        assert agent.local_version == 1
 
     def test_next_poll_time(self):
         agent = EndpointAgent(

@@ -56,7 +56,7 @@ class TestEdgeCases:
 class TestCorrectness:
     def test_never_exceeds_capacity(self):
         rng = np.random.default_rng(1)
-        for trial in range(20):
+        for _trial in range(20):
             values = rng.lognormal(0, 1, size=200)
             capacity = float(values.sum()) * rng.uniform(0.2, 0.9)
             result = fast_ssp(values, capacity)
@@ -98,7 +98,7 @@ class TestCorrectness:
     def test_near_optimal_on_small_instances(self):
         """Within the error bound of the brute-force optimum."""
         rng = np.random.default_rng(5)
-        for trial in range(10):
+        for _trial in range(10):
             values = rng.uniform(0.5, 4.0, size=14)
             capacity = float(values.sum()) * rng.uniform(0.3, 0.8)
             fast = fast_ssp(values, capacity, epsilon=0.05)
@@ -109,7 +109,7 @@ class TestCorrectness:
     def test_smaller_epsilon_not_worse_on_average(self):
         rng = np.random.default_rng(6)
         coarse_fills, fine_fills = [], []
-        for trial in range(15):
+        for _trial in range(15):
             values = rng.lognormal(0, 1, size=250)
             capacity = float(values.sum()) * 0.5
             coarse_fills.append(fast_ssp(values, capacity, epsilon=0.5).total)

@@ -109,7 +109,7 @@ class TestSweep:
             for r in records
             if r.status == "ok"
         }
-        for (scheme, n), record in by_scheme.items():
+        for (_scheme, n), record in by_scheme.items():
             lp = by_scheme.get(("LP-all", n))
             if lp:
                 assert record.satisfied <= lp.satisfied + 1e-6
@@ -149,7 +149,7 @@ class TestFig11:
         for scheme, latency in result.qos1_latency.items():
             if scheme != "MegaTE" and not math.isnan(latency):
                 assert megate <= latency + 1e-9
-        for scheme, reduction in result.reduction_vs.items():
+        for _scheme, reduction in result.reduction_vs.items():
             if not math.isnan(reduction):
                 assert reduction >= -1e-9
 

@@ -107,7 +107,7 @@ class TestDiurnal:
         diurnal = DiurnalPredictor(intervals_per_day=24)
         last = LastValuePredictor()
         # Train on two days.
-        for day in range(2):
+        for _day in range(2):
             for n in range(24):
                 m = sequence.matrix(n)
                 diurnal.observe(m)
