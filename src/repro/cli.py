@@ -324,6 +324,46 @@ def _cmd_fastssp(args) -> None:
     )
 
 
+def _cmd_replay(args) -> None:
+    from .experiments.interval_replay import run_cold_vs_incremental
+
+    outcome = run_cold_vs_incremental(
+        topology_name=args.topology,
+        total_endpoints=args.endpoints,
+        num_site_pairs=args.pairs,
+        num_intervals=args.intervals,
+        seed=args.seed,
+        delta_threshold=args.delta_threshold,
+        lp_backend=args.lp_backend,
+    )
+    cold, inc = outcome["cold"], outcome["incremental"]
+    print(
+        f"Interval replay, cold vs incremental "
+        f"({args.topology}, {cold['num_flows']} flows, "
+        f"{args.intervals} intervals, "
+        f"delta threshold {args.delta_threshold}, "
+        f"backend {inc['backend']}):"
+    )
+    print(
+        render_table(
+            ["mode", "stage1_lp_s", "stage2_ssp_s", "lp_solves",
+             "patched", "ssp_reused", "satisfied"],
+            [
+                ("cold", cold["stage1_lp_s"], cold["stage2_ssp_s"],
+                 cold["lp_solves"], 0, 0, cold["satisfied_volume"]),
+                ("incremental", inc["stage1_lp_s"], inc["stage2_ssp_s"],
+                 inc["lp_solves"], inc["lp_solves_skipped"],
+                 inc["ssp_state_reused"], inc["satisfied_volume"]),
+            ],
+        )
+    )
+    print(
+        f"\nsolver speedup {outcome['solver_speedup']:.2f}x, "
+        f"satisfied ratio {outcome['satisfied_ratio']:.4f}, "
+        f"digests {'match' if outcome['digest_match'] else 'differ'}"
+    )
+
+
 def _cmd_chaos(args) -> None:
     rows = chaos_sync.run(
         intensities=tuple(args.intensities),
@@ -366,6 +406,7 @@ _COMMANDS = {
     "fig16": _cmd_fig16,
     "fig17": _cmd_fig17,
     "chaos": _cmd_chaos,
+    "replay": _cmd_replay,
     "database": _cmd_database,
     "fastssp": _cmd_fastssp,
     "solve": _cmd_solve,
@@ -441,6 +482,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=4)
     p.add_argument("--horizon", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "replay",
+        help="interval-loop replay: cold vs incremental solve engine",
+    )
+    p.add_argument("--topology", default="twan")
+    p.add_argument("--endpoints", type=int, default=20_000)
+    p.add_argument("--pairs", type=int, default=60)
+    p.add_argument("--intervals", type=int, default=10)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--delta-threshold", type=float, default=1.5,
+        help="per-pair relative demand-change bound for the LP delta "
+             "fast path (0 = bit-exact reuse only)",
+    )
+    p.add_argument(
+        "--lp-backend",
+        choices=["scipy", "highspy", "auto"],
+        default=None,
+        help="LP backend (default: REPRO_LP_BACKEND env or scipy; "
+             "highspy degrades to scipy when not installed)",
+    )
 
     p = sub.add_parser("fastssp", help="FastSSP accuracy study")
     p.add_argument("--instances", type=int, default=10)

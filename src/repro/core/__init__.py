@@ -10,6 +10,12 @@ from .exact import ExactSolution, solve_max_all_flow
 from .fastssp import FastSSPResult, fast_ssp
 from .flowtable import FlowTable, PairViews, csr_offsets, pair_views
 from .formulation import MaxAllFlowProblem
+from .incremental import IncrementalConfig, IncrementalState
+from .lp_backend import (
+    BACKEND_ENV_VAR,
+    highspy_available,
+    resolve_backend_name,
+)
 from .parallel import parallel_map, resolve_workers
 from .qos import PRIORITY_ORDER, QoSClass
 from .siteflow import SiteFlowSolver, solve_max_site_flow
@@ -62,4 +68,9 @@ __all__ = [
     "pair_views",
     "SiteFlowSolver",
     "resolve_workers",
+    "IncrementalConfig",
+    "IncrementalState",
+    "BACKEND_ENV_VAR",
+    "highspy_available",
+    "resolve_backend_name",
 ]

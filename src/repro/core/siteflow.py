@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 import weakref
 from typing import TYPE_CHECKING
 
@@ -33,6 +34,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from .lp_backend import BackendUnavailable, make_backend, resolve_backend_name
 from .types import SiteAllocation
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with formulation
@@ -48,6 +50,21 @@ __all__ = ["SiteFlowSolver", "solve_max_site_flow", "max_concurrent_scale"]
 #: purged.  The solver itself holds no strong reference to the topology.
 _SOLVER_CACHE: dict[int, tuple[weakref.ref, "SiteFlowSolver"]] = {}
 _SOLVER_CACHE_LOCK = threading.Lock()
+
+
+def _purge_dead_entries_locked() -> None:
+    """Drop cache entries whose topology has been collected.
+
+    Called on every insert (with :data:`_SOLVER_CACHE_LOCK` held), so the
+    cache never grows beyond live-topologies + 1 even under topology
+    churn — dead ids must not linger until their exact id is reused.
+    Deliberately *not* a weakref callback: callbacks can fire during any
+    allocation, including while the lock is held, and the lock is not
+    reentrant.
+    """
+    dead = [k for k, (ref, _) in _SOLVER_CACHE.items() if ref() is None]
+    for k in dead:
+        del _SOLVER_CACHE[k]
 
 
 class SiteFlowSolver:
@@ -154,6 +171,16 @@ class SiteFlowSolver:
         self._fill_order_cache: dict[
             str, tuple[list[np.ndarray], np.ndarray]
         ] = {}
+        #: Lazily constructed LP backend instances, keyed by name.
+        self._backends: dict[str, object] = {}
+        #: Backends that failed at runtime this process (degraded away).
+        self._broken_backends: set[str] = set()
+        self._incidence_col_bounds: np.ndarray | None = None
+        #: Backend used by the most recent :meth:`solve_flat` call, and
+        #: whether that call warm-started from a previous basis.  Read by
+        #: the optimizer right after each solve for its stats.
+        self.last_backend = "scipy"
+        self.last_warm_start = False
         #: Wall-clock spent building the scaffolding (observability).
         self.build_seconds = time.perf_counter() - t0
 
@@ -169,11 +196,7 @@ class SiteFlowSolver:
                 return entry[1]
         solver = cls(topology)
         with _SOLVER_CACHE_LOCK:
-            dead = [
-                k for k, (ref, _) in _SOLVER_CACHE.items() if ref() is None
-            ]
-            for k in dead:
-                del _SOLVER_CACHE[k]
+            _purge_dead_entries_locked()
             _SOLVER_CACHE[key] = (weakref.ref(topology), solver)
         return solver
 
@@ -189,6 +212,21 @@ class SiteFlowSolver:
                     pos += 1
             self._attribute_cache[attribute] = cached = values
         return cached
+
+    @property
+    def incidence_col_bounds(self) -> np.ndarray:
+        """Segment bounds of each tunnel column within the incidence.
+
+        ``incidence_cols`` is non-decreasing (built pair-major, tunnel by
+        tunnel), so tunnel ``c``'s link rows are
+        ``incidence_rows[bounds[c]:bounds[c + 1]]`` — the lookup the
+        delta fast path uses for per-tunnel link-headroom minima.
+        """
+        if self._incidence_col_bounds is None:
+            self._incidence_col_bounds = np.searchsorted(
+                self.incidence_cols, np.arange(self.num_tunnel_vars + 1)
+            )
+        return self._incidence_col_bounds
 
     def fill_orders(
         self, attribute: str
@@ -228,17 +266,36 @@ class SiteFlowSolver:
             )
         return cached
 
+    def _backend_for(self, name: str):
+        """The (cached) backend instance for a resolved backend name."""
+        if name in self._broken_backends:
+            name = "scipy"
+        impl = self._backends.get(name)
+        if impl is None:
+            try:
+                impl = make_backend(name, self.constraint_matrix)
+            except BackendUnavailable:
+                self._broken_backends.add(name)
+                return self._backend_for("scipy")
+            self._backends[name] = impl
+        return impl
+
     def solve_flat(
         self,
         site_demands: np.ndarray,
         capacities: np.ndarray | None = None,
         tunnel_weights: np.ndarray | None = None,
         epsilon: float | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Solve the LP and return the flat ``F_{k,t}`` vector.
 
         Args mirror :func:`solve_max_site_flow`; ``epsilon=None``
-        auto-scales exactly the way the legacy function did.
+        auto-scales exactly the way the legacy function did.  ``backend``
+        selects the LP backend (``"scipy"``/``"highspy"``/``"auto"``;
+        ``None`` consults ``REPRO_LP_BACKEND``, default scipy); the
+        backend actually used and whether it warm-started are left in
+        :attr:`last_backend` / :attr:`last_warm_start`.
         """
         site_demands = np.asarray(site_demands, dtype=np.float64)
         if site_demands.shape != (self.num_pairs,):
@@ -272,18 +329,29 @@ class SiteFlowSolver:
             eps = epsilon
         cost = -(1.0 - eps * weights)
         b_ub = np.concatenate([site_demands, np.maximum(caps, 0.0)])
-        outcome = linprog(
-            cost,
-            A_ub=self.constraint_matrix,
-            b_ub=b_ub,
-            bounds=(0.0, None),
-            method="highs",
-        )
-        if not outcome.success:
-            raise RuntimeError(
-                f"MaxSiteFlow LP failed: {outcome.message}"
-            )
-        return np.maximum(outcome.x, 0.0)
+        impl = self._backend_for(resolve_backend_name(backend))
+        if impl.name == "scipy":
+            x, warm = impl.solve(cost, b_ub)
+        else:
+            try:
+                x, warm = impl.solve(cost, b_ub)
+            except Exception as exc:
+                # Optional backends must never break the serving loop:
+                # degrade this solver to scipy for the rest of the
+                # process and re-solve the call that failed.
+                warnings.warn(
+                    f"LP backend {impl.name!r} failed ({exc}); "
+                    "falling back to scipy",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._broken_backends.add(impl.name)
+                self._backends.pop(impl.name, None)
+                impl = self._backend_for("scipy")
+                x, warm = impl.solve(cost, b_ub)
+        self.last_backend = impl.name
+        self.last_warm_start = warm
+        return x
 
     def split(self, flat: np.ndarray) -> SiteAllocation:
         """View a flat ``F_{k,t}`` vector as a :class:`SiteAllocation`."""
@@ -300,6 +368,7 @@ class SiteFlowSolver:
         capacities: np.ndarray | None = None,
         tunnel_weights: np.ndarray | None = None,
         epsilon: float | None = None,
+        backend: str | None = None,
     ) -> SiteAllocation:
         """Solve the LP and return the allocation per site pair."""
         return self.split(
@@ -308,6 +377,7 @@ class SiteFlowSolver:
                 capacities=capacities,
                 tunnel_weights=tunnel_weights,
                 epsilon=epsilon,
+                backend=backend,
             )
         )
 

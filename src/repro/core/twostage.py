@@ -37,6 +37,14 @@ on CPU):
 Both second-stage modes (``"batched"`` and the reference ``"serial"``)
 produce identical assignments; ``TEResult.stats["phase_s"]`` carries the
 per-phase timing breakdown.
+
+Incremental mode (``incremental=True``) additionally threads state
+across consecutive ``solve`` calls on the same topology and flow
+population — the TE interval loop — patching the previous interval's
+LP allocation under a demand-delta/headroom guard and warm-starting
+contended second-stage pairs from their previous assignment; see
+:mod:`repro.core.incremental` for the guards and the equivalence
+contract (``delta_threshold=0.0`` is bit-exact with the cold path).
 """
 
 from __future__ import annotations
@@ -51,6 +59,15 @@ from typing import TYPE_CHECKING
 from .batch import triage_ssp_segments
 from .fastssp import fast_ssp
 from .formulation import MaxAllFlowProblem
+from .incremental import (
+    ClassLPState,
+    IncrementalConfig,
+    IncrementalState,
+    patch_class_allocation,
+    reconcile_leftovers,
+    warm_fill_pair,
+)
+from .lp_backend import resolve_backend_name
 from .parallel import parallel_map
 from .qos import PRIORITY_ORDER, QoSClass
 from .siteflow import SiteFlowSolver
@@ -66,6 +83,7 @@ __all__ = ["MegaTEOptimizer"]
 PHASE_KEYS = (
     "matrix_build",
     "lp_solve",
+    "delta_patch",
     "triage",
     "contended_ssp",
     "residual_update",
@@ -140,6 +158,26 @@ class MegaTEOptimizer:
             pairs vectorized and runs FastSSP only on the contended
             residue; ``"serial"`` is the reference per-pair path.  Both
             produce identical assignments (property-tested).
+        incremental: Carry solve state across consecutive
+            :meth:`solve` calls on the same topology and flow
+            population (the TE interval loop) — see
+            :mod:`repro.core.incremental`.  ``True`` builds an
+            :class:`~repro.core.incremental.IncrementalConfig` from the
+            three knobs below; an ``IncrementalConfig`` instance is
+            used as-is; ``False`` (default) solves every interval cold.
+        delta_threshold: Per-pair relative demand-change bound for the
+            LP delta fast path (``0.0`` = bit-exact reuse only, so the
+            incremental run reproduces the cold digests exactly).
+        carry_ssp_state: Warm-start contended second-stage pairs from
+            the previous interval's assignment (batched mode, threshold
+            > 0 only).
+        refresh_every: Force a cold re-solve every N intervals (0 =
+            never) to re-optimize away accumulated patch drift.
+        lp_backend: LP backend name forwarded to
+            :meth:`SiteFlowSolver.solve_flat` (``"scipy"`` /
+            ``"highspy"`` / ``"auto"``; ``None`` consults the
+            ``REPRO_LP_BACKEND`` environment variable, default scipy).
+            A missing or failing ``highspy`` degrades to scipy.
     """
 
     scheme_name = "MegaTE"
@@ -159,6 +197,11 @@ class MegaTEOptimizer:
         qos_order: tuple[QoSClass, ...] = PRIORITY_ORDER,
         class_tunnel_attribute: dict[QoSClass, str] | None = None,
         second_stage: str = "batched",
+        incremental: bool | IncrementalConfig = False,
+        delta_threshold: float = 0.0,
+        carry_ssp_state: bool = True,
+        refresh_every: int = 0,
+        lp_backend: str | None = None,
     ) -> None:
         if not 0 < fastssp_epsilon < 1:
             raise ValueError("fastssp_epsilon must be in (0, 1)")
@@ -176,6 +219,22 @@ class MegaTEOptimizer:
             else class_tunnel_attribute
         )
         self.second_stage = second_stage
+        if isinstance(incremental, IncrementalConfig):
+            self.incremental: IncrementalConfig | None = incremental
+        elif incremental:
+            self.incremental = IncrementalConfig(
+                delta_threshold=delta_threshold,
+                carry_ssp_state=carry_ssp_state,
+                refresh_every=refresh_every,
+            )
+        else:
+            self.incremental = None
+        self.lp_backend = lp_backend
+        self._state: IncrementalState | None = None
+
+    def reset_incremental_state(self) -> None:
+        """Drop carried cross-interval state (next solve runs cold)."""
+        self._state = None
 
     def solve(
         self, topology: TwoLayerTopology, demands: DemandMatrix
@@ -224,6 +283,30 @@ class MegaTEOptimizer:
         num_contended = 0
         per_class_satisfied: dict[int, float] = {}
 
+        # Incremental mode: revalidate the carried state against this
+        # interval's topology and flow population; a mismatch (or a
+        # scheduled refresh) solves cold and re-seeds the state.
+        inc = self.incremental
+        state: IncrementalState | None = None
+        carried = False
+        if inc is not None:
+            if self._state is None:
+                self._state = IncrementalState()
+            state = self._state
+            carried = state.revalidate(topology, demands)
+            if (
+                carried
+                and inc.refresh_every > 0
+                and state.interval_index % inc.refresh_every == 0
+            ):
+                carried = False
+        lp_solves = 0
+        lp_solves_skipped = 0
+        lp_warm_starts = 0
+        pairs_delta_patched = 0
+        ssp_state_reused = 0
+        backend_used: str | None = None
+
         for qos in self.qos_order:
             # SiteMerge, columnar: one mask over the flat qos column gives
             # the class's global flow indices; ``searchsorted`` against
@@ -258,18 +341,46 @@ class MegaTEOptimizer:
                 if class_weights.size:
                     max_w = float(class_weights.max())
                     class_epsilon = 0.3 / max_w if max_w > 0 else 0.0
-            alloc_flat = solver.solve_flat(
-                class_demands,
-                capacities=residual,
-                tunnel_weights=class_weights,
-                epsilon=class_epsilon,
+            orders, ordered_cols = solver.fill_orders(attribute)
+            population_same = (
+                state.sync_class_population(qos.value, cls_idx)
+                if state is not None
+                else False
             )
+            residual_in = residual.copy() if state is not None else None
+            alloc_flat = None
+            if state is not None and carried:
+                cls_state = state.lp.get(qos.value)
+                if cls_state is not None:
+                    patch = patch_class_allocation(
+                        solver,
+                        cls_state,
+                        class_demands,
+                        residual,
+                        ordered_cols,
+                        inc.delta_threshold,
+                    )
+                    if patch.alloc is not None:
+                        alloc_flat = patch.alloc
+                        lp_solves_skipped += 1
+                        pairs_delta_patched += patch.pairs_patched
+            patched = alloc_flat is not None
+            if not patched:
+                alloc_flat = solver.solve_flat(
+                    class_demands,
+                    capacities=residual,
+                    tunnel_weights=class_weights,
+                    epsilon=class_epsilon,
+                    backend=self.lp_backend,
+                )
+                lp_solves += 1
+                if solver.last_warm_start:
+                    lp_warm_starts += 1
+                backend_used = solver.last_backend
             site_alloc = solver.split(alloc_flat)
             dt = time.perf_counter() - t0
             stage1_s += dt
-            phase["lp_solve"] += dt
-
-            orders, ordered_cols = solver.fill_orders(attribute)
+            phase["delta_patch" if patched else "lp_solve"] += dt
             placed_flat = np.zeros(solver.num_tunnel_vars)
             contrib: dict[int, float] = {}
 
@@ -324,6 +435,46 @@ class MegaTEOptimizer:
 
                 t0 = time.perf_counter()
                 contended_ks = [int(k) for k in candidates[contended_pos]]
+                # Carried second-stage state: re-validate each contended
+                # pair's previous assignment against the new volumes and
+                # allocation; pairs whose warm fill lands within the
+                # FastSSP precision target skip the cold solve.  Only
+                # sound when the class's flow population is unchanged
+                # (the assignment indexes flow positions) and disabled
+                # at threshold 0 to keep the bit-exactness contract.
+                warm_outcomes: list[_PairOutcome] = []
+                if (
+                    state is not None
+                    and carried
+                    and population_same
+                    and inc.carry_ssp_state
+                    and inc.delta_threshold > 0.0
+                ):
+                    cold_ks = []
+                    for k in contended_ks:
+                        prev = state.ssp_assigned.get((qos.value, k))
+                        warm = (
+                            warm_fill_pair(
+                                cls_vol[seg[k] : seg[k + 1]],
+                                site_alloc.per_pair[k],
+                                orders[k],
+                                prev,
+                                self.fastssp_epsilon,
+                            )
+                            if prev is not None
+                            else None
+                        )
+                        if warm is None:
+                            cold_ks.append(k)
+                        else:
+                            warm_outcomes.append(
+                                _PairOutcome(
+                                    k=k,
+                                    assigned_tunnel=warm[0],
+                                    placed_per_tunnel=warm[1],
+                                )
+                            )
+                    contended_ks = cold_ks
                 outcomes = parallel_map(
                     lambda k: self._solve_pair(
                         k,
@@ -334,6 +485,9 @@ class MegaTEOptimizer:
                     contended_ks,
                     workers=self.workers,
                 )
+                if warm_outcomes:
+                    ssp_state_reused += len(warm_outcomes)
+                    outcomes = list(outcomes) + warm_outcomes
                 dt = time.perf_counter() - t0
                 stage2_s += dt
                 phase["contended_ssp"] += dt
@@ -352,6 +506,17 @@ class MegaTEOptimizer:
                 placed_flat[offsets[k] : offsets[k + 1]] = (
                     outcome.placed_per_tunnel
                 )
+
+            if state is not None:
+                state.lp[qos.value] = ClassLPState(
+                    demands=class_demands,
+                    alloc_flat=alloc_flat.copy(),
+                    residual_in=residual_in,
+                )
+                for outcome in outcomes:
+                    state.ssp_assigned[(qos.value, outcome.k)] = (
+                        outcome.assigned_tunnel
+                    )
 
             # Accumulate in pair order so the float sum matches the
             # reference loop bit for bit.
@@ -375,6 +540,9 @@ class MegaTEOptimizer:
             satisfied += class_satisfied
             per_class_satisfied[qos.value] = class_satisfied
 
+        if state is not None:
+            state.interval_index += 1
+
         runtime = time.perf_counter() - start
         return TEResult(
             scheme=self.scheme_name,
@@ -392,6 +560,17 @@ class MegaTEOptimizer:
                 "second_stage": self.second_stage,
                 "num_uncontended_pairs": num_uncontended,
                 "num_contended_pairs": num_contended,
+                "backend": (
+                    backend_used
+                    if backend_used is not None
+                    else resolve_backend_name(self.lp_backend)
+                ),
+                "lp_warm_start": lp_warm_starts,
+                "lp_solves": lp_solves,
+                "lp_solves_skipped": lp_solves_skipped,
+                "pairs_delta_patched": pairs_delta_patched,
+                "ssp_state_reused": ssp_state_reused,
+                "incremental": inc is not None,
             },
         )
 
@@ -433,16 +612,9 @@ class MegaTEOptimizer:
         # that no single remaining flow fit at the time; retry the largest
         # leftover flows against each tunnel's remaining allocation.
         leftovers = alloc_k - placed
-        free = np.flatnonzero(assigned == UNASSIGNED)
-        if free.size and np.any(leftovers > 0):
-            for i in free[np.argsort(-volumes[free], kind="stable")]:
-                volume = volumes[i]
-                for t_index in fill_order:
-                    if volume <= leftovers[t_index]:
-                        assigned[i] = t_index
-                        placed[t_index] += volume
-                        leftovers[t_index] -= volume
-                        break
+        reconcile_leftovers(
+            volumes, assigned, placed, leftovers, fill_order
+        )
         return _PairOutcome(
             k=k, assigned_tunnel=assigned, placed_per_tunnel=placed
         )

@@ -16,6 +16,12 @@ contract the batched second stage is held to.
 
 Used by ``benchmarks/test_perf_interval_solve.py`` (trajectory artifact)
 and the tier-1 perf smoke / equivalence tests.
+
+:func:`run_cold_vs_incremental` is the comparison mode: the same replay
+once cold and once with the incremental engine
+(:mod:`repro.core.incremental`), reporting the stage1+stage2 speedup,
+how much reuse actually fired, and whether the digests match (they must
+at ``delta_threshold=0.0``).
 """
 
 from __future__ import annotations
@@ -28,7 +34,12 @@ from ..core.twostage import PHASE_KEYS
 from ..traffic import DiurnalSequence
 from .common import build_scenario
 
-__all__ = ["IntervalReplayReport", "replay_intervals", "run_interval_replay"]
+__all__ = [
+    "IntervalReplayReport",
+    "replay_intervals",
+    "run_interval_replay",
+    "run_cold_vs_incremental",
+]
 
 
 @dataclass
@@ -51,6 +62,16 @@ class IntervalReplayReport:
         assignment_digest: SHA-256 over every interval's per-pair
             assignment arrays, in interval order — equal digests mean
             bit-identical allocations.
+        backend: LP backend of the last interval (``"scipy"`` or
+            ``"highspy"``; constant across a replay in practice).
+        lp_solves: Full LP solves across the replay.
+        lp_solves_skipped: Class solves served by the delta fast path.
+        lp_warm_starts: LP solves warm-started from a previous basis
+            (highspy backend only).
+        pairs_delta_patched: Demand-changed site pairs absorbed by the
+            delta fast path.
+        ssp_state_reused: Contended pair solves served by the carried
+            second-stage state.
     """
 
     topology: str
@@ -66,6 +87,12 @@ class IntervalReplayReport:
     num_uncontended_pairs: int = 0
     num_contended_pairs: int = 0
     assignment_digest: str = ""
+    backend: str = "scipy"
+    lp_solves: int = 0
+    lp_solves_skipped: int = 0
+    lp_warm_starts: int = 0
+    pairs_delta_patched: int = 0
+    ssp_state_reused: int = 0
 
     def as_dict(self) -> dict:
         """JSON-serializable view for benchmark artifacts."""
@@ -81,6 +108,12 @@ class IntervalReplayReport:
             "num_uncontended_pairs": self.num_uncontended_pairs,
             "num_contended_pairs": self.num_contended_pairs,
             "assignment_digest": self.assignment_digest,
+            "backend": self.backend,
+            "lp_solves": self.lp_solves,
+            "lp_solves_skipped": self.lp_solves_skipped,
+            "lp_warm_starts": self.lp_warm_starts,
+            "pairs_delta_patched": self.pairs_delta_patched,
+            "ssp_state_reused": self.ssp_state_reused,
         }
 
 
@@ -108,6 +141,9 @@ def replay_intervals(
         raise ValueError("num_intervals must be positive")
     if optimizer is None:
         optimizer = MegaTEOptimizer()
+    # A replay is one fresh control-loop run: never inherit carried
+    # state from a previous replay driven through the same optimizer.
+    optimizer.reset_incremental_state()
     digest = hashlib.sha256()
     report = IntervalReplayReport(
         topology=topology_name,
@@ -125,6 +161,12 @@ def replay_intervals(
         report.satisfied_volume += result.satisfied_volume
         report.num_uncontended_pairs += stats["num_uncontended_pairs"]
         report.num_contended_pairs += stats["num_contended_pairs"]
+        report.backend = stats.get("backend", report.backend)
+        report.lp_solves += stats.get("lp_solves", 0)
+        report.lp_solves_skipped += stats.get("lp_solves_skipped", 0)
+        report.lp_warm_starts += stats.get("lp_warm_start", 0)
+        report.pairs_delta_patched += stats.get("pairs_delta_patched", 0)
+        report.ssp_state_reused += stats.get("ssp_state_reused", 0)
         for arr in result.assignment.per_pair:
             digest.update(arr.tobytes())
     report.assignment_digest = digest.hexdigest()
@@ -162,3 +204,69 @@ def run_interval_replay(
         optimizer=optimizer,
         topology_name=topology_name,
     )
+
+
+def run_cold_vs_incremental(
+    topology_name: str = "twan",
+    total_endpoints: int = 20_000,
+    num_site_pairs: int = 60,
+    target_load: float = 1.0,
+    seed: int = 42,
+    sequence_seed: int = 5,
+    num_intervals: int = 10,
+    delta_threshold: float = 1.5,
+    lp_backend: str | None = None,
+) -> dict:
+    """Replay the same interval sequence cold and incrementally.
+
+    Runs the standard replay scenario twice — once with a cold
+    per-interval :class:`MegaTEOptimizer` and once with the incremental
+    engine at ``delta_threshold`` — and reports both, the stage1+stage2
+    solver-time speedup, how much of each reuse mechanism fired, and
+    (as satisfaction quality is traded at a positive threshold) the
+    satisfied-volume ratio.  ``digest_match`` is ``True`` iff both runs
+    produced bit-identical assignments, which the engine guarantees at
+    ``delta_threshold=0.0``.
+
+    Returns:
+        A JSON-serializable dict with ``cold``, ``incremental``,
+        ``solver_speedup``, ``satisfied_ratio`` and ``digest_match``.
+    """
+    config = dict(
+        topology_name=topology_name,
+        total_endpoints=total_endpoints,
+        num_site_pairs=num_site_pairs,
+        target_load=target_load,
+        seed=seed,
+        sequence_seed=sequence_seed,
+        num_intervals=num_intervals,
+    )
+    cold = run_interval_replay(
+        optimizer=MegaTEOptimizer(lp_backend=lp_backend), **config
+    )
+    incremental = run_interval_replay(
+        optimizer=MegaTEOptimizer(
+            incremental=True,
+            delta_threshold=delta_threshold,
+            lp_backend=lp_backend,
+        ),
+        **config,
+    )
+    cold_solver = cold.stage1_lp_s + cold.stage2_ssp_s
+    inc_solver = incremental.stage1_lp_s + incremental.stage2_ssp_s
+    return {
+        "config": {**config, "delta_threshold": delta_threshold},
+        "cold": cold.as_dict(),
+        "incremental": incremental.as_dict(),
+        "solver_speedup": (
+            cold_solver / inc_solver if inc_solver > 0 else float("inf")
+        ),
+        "satisfied_ratio": (
+            incremental.satisfied_volume / cold.satisfied_volume
+            if cold.satisfied_volume > 0
+            else 1.0
+        ),
+        "digest_match": (
+            cold.assignment_digest == incremental.assignment_digest
+        ),
+    }

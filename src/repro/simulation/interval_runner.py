@@ -107,6 +107,11 @@ def run_intervals(
         measured against the interval's *actual* traffic.
     """
     series = IntervalSeries()
+    # A run is one fresh control loop: an incremental solver must not
+    # inherit carried state from whatever drove it before this call.
+    reset = getattr(solver, "reset_incremental_state", None)
+    if callable(reset):
+        reset()
     previous: "DemandMatrix | None" = None
     for n, actual in enumerate(matrices):
         if predictor is not None:

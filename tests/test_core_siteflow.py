@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import gc
+
 import numpy as np
 import pytest
 
 from repro.core.formulation import MaxAllFlowProblem
-from repro.core.siteflow import max_concurrent_scale, solve_max_site_flow
+from repro.core.siteflow import (
+    SiteFlowSolver,
+    _SOLVER_CACHE,
+    max_concurrent_scale,
+    solve_max_site_flow,
+)
+from repro.topology import SiteNetwork, TwoLayerTopology, build_tunnels
+from repro.topology.endpoints import EndpointLayout
 from repro.traffic import DemandMatrix
 
 from conftest import make_pair_demands
@@ -91,6 +100,134 @@ class TestMaxSiteFlow:
                     loads[key] += alloc.per_pair[k][t]
         for link in b4_topology.network.links:
             assert loads[link.key] <= link.capacity * (1 + 1e-6)
+
+
+def _throwaway_topology(tag: int) -> TwoLayerTopology:
+    net = SiteNetwork(name=f"churn{tag}")
+    net.add_duplex_link("a", "b", capacity=10.0, latency_ms=5.0)
+    catalog = build_tunnels(net, [("a", "b")], tunnels_per_pair=1)
+    return TwoLayerTopology(
+        network=net,
+        catalog=catalog,
+        layout=EndpointLayout({"a": 2, "b": 2}),
+    )
+
+
+def _edge_case_topology() -> TwoLayerTopology:
+    """Three site pairs: two tunnels, one tunnel, and none at all.
+
+    The empty pair models a failure projection leaving a pair
+    unroutable (``add_pair(..., allow_empty=True)``).
+    """
+    net = SiteNetwork(name="edge")
+    net.add_duplex_link("a", "b", capacity=10.0, latency_ms=5.0)
+    net.add_duplex_link("a", "r", capacity=10.0, latency_ms=10.0)
+    net.add_duplex_link("r", "b", capacity=10.0, latency_ms=10.0)
+    net.add_duplex_link("c", "d", capacity=10.0, latency_ms=2.0)
+    catalog = build_tunnels(
+        net, [("a", "b"), ("c", "d")], tunnels_per_pair=2
+    )
+    catalog.add_pair("d", "c", [], allow_empty=True)
+    layout = EndpointLayout({"a": 2, "b": 2, "c": 2, "d": 2, "r": 0})
+    return TwoLayerTopology(network=net, catalog=catalog, layout=layout)
+
+
+class TestSolverCache:
+    def test_cache_stays_bounded_under_topology_churn(self):
+        """Dead-weakref entries are purged on insert, not leaked."""
+        start = len(_SOLVER_CACHE)
+        for tag in range(25):
+            topology = _throwaway_topology(tag)
+            solver = SiteFlowSolver.for_topology(topology)
+            assert solver is SiteFlowSolver.for_topology(topology)
+            del topology
+            gc.collect()
+        # Each insert purges the previously-dead entries; at most the
+        # most recent (already dead) entry may still linger.
+        assert len(_SOLVER_CACHE) <= start + 1
+
+    def test_cache_hit_does_not_rebuild(self, tiny_topology):
+        first = SiteFlowSolver.for_topology(tiny_topology)
+        second = SiteFlowSolver.for_topology(tiny_topology)
+        assert first is second
+
+
+class TestFillOrderEdgeCases:
+    def test_fill_orders_cover_all_pair_shapes(self):
+        topology = _edge_case_topology()
+        solver = SiteFlowSolver.for_topology(topology)
+        orders, ordered_cols = solver.fill_orders("weight")
+        assert len(orders) == 3
+        assert orders[0].size == 2  # two-tunnel pair
+        assert orders[1].size == 1  # single-tunnel pair
+        assert orders[2].size == 0  # unroutable pair
+        assert ordered_cols.size == solver.num_tunnel_vars
+        offsets = solver.tunnel_offsets
+        for k in range(3):
+            cols = ordered_cols[offsets[k] : offsets[k + 1]]
+            assert set(cols) == set(range(offsets[k], offsets[k + 1]))
+
+    def test_incidence_col_bounds_segments(self):
+        topology = _edge_case_topology()
+        solver = SiteFlowSolver.for_topology(topology)
+        bounds = solver.incidence_col_bounds
+        assert bounds.size == solver.num_tunnel_vars + 1
+        assert bounds[0] == 0
+        assert bounds[-1] == solver.incidence_rows.size
+        assert np.all(np.diff(bounds) >= 0)
+        for c in range(solver.num_tunnel_vars):
+            segment = solver.incidence_cols[bounds[c] : bounds[c + 1]]
+            assert np.all(segment == c)
+
+    def test_solve_all_zero_demands(self):
+        topology = _edge_case_topology()
+        solver = SiteFlowSolver.for_topology(topology)
+        alloc = solver.solve(np.zeros(3))
+        assert alloc.total == pytest.approx(0.0, abs=1e-9)
+
+    def test_solve_with_empty_pair_demand(self):
+        """Demand on an unroutable pair is simply not allocated."""
+        topology = _edge_case_topology()
+        solver = SiteFlowSolver.for_topology(topology)
+        alloc = solver.solve(np.array([4.0, 3.0, 5.0]))
+        assert alloc.per_pair[2].size == 0
+        assert alloc.per_pair[0].sum() == pytest.approx(4.0, rel=1e-6)
+        assert alloc.per_pair[1].sum() == pytest.approx(3.0, rel=1e-6)
+
+    def test_single_tunnel_pair_caps_at_link(self):
+        topology = _edge_case_topology()
+        solver = SiteFlowSolver.for_topology(topology)
+        alloc = solver.solve(np.array([0.0, 25.0, 0.0]))
+        assert alloc.per_pair[1].sum() == pytest.approx(10.0, rel=1e-6)
+
+
+class TestMaxConcurrentScaleEdgeCases:
+    def _demands(self, volumes_by_pair):
+        return DemandMatrix(
+            [make_pair_demands(v) for v in volumes_by_pair]
+        )
+
+    def test_empty_pair_with_demand_scales_to_zero(self):
+        topology = _edge_case_topology()
+        demands = self._demands([[1.0], [1.0], [1.0]])
+        problem = MaxAllFlowProblem(topology, demands)
+        alpha = max_concurrent_scale(problem, demands.site_demands())
+        assert alpha == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_tunnel_pair_scale(self):
+        topology = _edge_case_topology()
+        demands = self._demands([[], [5.0], []])
+        problem = MaxAllFlowProblem(topology, demands)
+        alpha = max_concurrent_scale(problem, demands.site_demands())
+        # 10 Gbps link vs 5 demanded -> alpha = 2.
+        assert alpha == pytest.approx(2.0, rel=1e-6)
+
+    def test_all_zero_demands_return_inf(self):
+        topology = _edge_case_topology()
+        demands = self._demands([[0.0], [0.0], [0.0]])
+        problem = MaxAllFlowProblem(topology, demands)
+        alpha = max_concurrent_scale(problem, demands.site_demands())
+        assert alpha == float("inf")
 
 
 class TestMaxConcurrentScale:

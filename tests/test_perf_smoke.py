@@ -68,6 +68,23 @@ def test_result_stats_contract():
         "second_stage",
         "num_uncontended_pairs",
         "num_contended_pairs",
+        "backend",
+        "lp_warm_start",
+        "lp_solves",
+        "lp_solves_skipped",
+        "pairs_delta_patched",
+        "ssp_state_reused",
+        "incremental",
     ):
         assert key in result.stats, key
     assert set(result.stats["phase_s"]) == set(PHASE_KEYS)
+    # Cold solve: everything ran through the full LP on the resolved
+    # backend (env-selectable in CI), nothing came from carried state.
+    from repro.core import resolve_backend_name
+
+    assert result.stats["backend"] == resolve_backend_name()
+    assert result.stats["lp_solves"] > 0
+    assert result.stats["lp_solves_skipped"] == 0
+    assert result.stats["pairs_delta_patched"] == 0
+    assert result.stats["ssp_state_reused"] == 0
+    assert result.stats["incremental"] is False
