@@ -37,6 +37,10 @@ import pytest
 from repro.controlplane import DemandCollector, FlowRecord
 from repro.core import MegaTEOptimizer, QoSClass, highspy_available
 from repro.experiments import run_interval_replay
+from repro.experiments.bench_history import (
+    load_history,
+    validate_history_record,
+)
 from repro.experiments.common import build_scenario
 from repro.simulation import compute_flow_latencies, simulate
 from repro.traffic import DiurnalSequence
@@ -87,18 +91,6 @@ def _git_sha() -> str:
     except (OSError, subprocess.TimeoutExpired):
         return "unknown"
     return proc.stdout.strip() if proc.returncode == 0 else "unknown"
-
-
-def _load_history() -> list[dict]:
-    """The artifact's run history (tolerates older snapshot-only files)."""
-    if not ARTIFACT.exists():
-        return []
-    try:
-        existing = json.loads(ARTIFACT.read_text())
-    except (json.JSONDecodeError, OSError):
-        return []
-    history = existing.get("history", [])
-    return history if isinstance(history, list) else []
 
 
 def _time_realization() -> dict[str, float]:
@@ -263,27 +255,29 @@ def test_interval_solve_breakdown(benchmark):
         <= 0.75 * PRE_COLUMNAR_BASELINE_S["flowsim_plus_latency"]
     )
 
-    history = _load_history()
-    history.append(
-        {
-            "timestamp": time.strftime(
-                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
-            ),
-            "git_sha": _git_sha(),
-            "backend": batched.backend,
-            "config": {
-                **REPLAY_CONFIG,
-                "incremental_threshold": INCREMENTAL_THRESHOLD,
-            },
-            "batched": batched.as_dict(),
-            "serial": serial.as_dict(),
-            "incremental": incremental.as_dict(),
-            "incremental_exact": inc_exact.as_dict(),
-            "highspy": None if highspy is None else highspy.as_dict(),
-            "incremental_speedup_vs_batched": solver_s / inc_solver_s,
-            "realization_s": realization,
-        }
-    )
+    # Strict load: a corrupt artifact or malformed prior record raises
+    # (BenchHistoryError) instead of silently truncating the trajectory.
+    history = load_history(ARTIFACT)
+    new_record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "backend": batched.backend,
+        "config": {
+            **REPLAY_CONFIG,
+            "incremental_threshold": INCREMENTAL_THRESHOLD,
+        },
+        "batched": batched.as_dict(),
+        "serial": serial.as_dict(),
+        "incremental": incremental.as_dict(),
+        "incremental_exact": inc_exact.as_dict(),
+        "highspy": None if highspy is None else highspy.as_dict(),
+        "incremental_speedup_vs_batched": solver_s / inc_solver_s,
+        "realization_s": realization,
+    }
+    # Validate the record we are about to append, so a schema drift in
+    # the replay report fails this run rather than corrupting the file.
+    validate_history_record(new_record)
+    history.append(new_record)
     payload = {
         "config": REPLAY_CONFIG,
         "batched": batched.as_dict(),

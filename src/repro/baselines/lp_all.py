@@ -13,11 +13,11 @@ Figure 9).
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import monotonic
 from ..core.exact import solve_max_all_flow
 from ..core.formulation import MaxAllFlowProblem
 from ..core.types import FlowAssignment, TEResult
@@ -57,9 +57,9 @@ class LPAllTE:
         problem = MaxAllFlowProblem(
             topology, demands, epsilon=self.objective_epsilon
         )
-        start = time.perf_counter()
+        start = monotonic()
         solution = solve_max_all_flow(problem, relaxed=True)
-        runtime = time.perf_counter() - start
+        runtime = monotonic() - start
         assignment = FlowAssignment(
             per_pair=[
                 np.asarray(arr, dtype=np.int32)

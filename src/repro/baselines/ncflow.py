@@ -31,12 +31,12 @@ analogue of the paper's out-of-memory failures (Figure 9).
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
 import networkx as nx
 import numpy as np
 
+from ..obs import monotonic
 from ..core.exact import solve_max_all_flow
 from ..core.formulation import MaxAllFlowProblem
 from ..core.types import SiteAllocation, TEResult
@@ -107,7 +107,7 @@ class NCFlowTE:
             ValueError: if a bundle exceeds the exact-solver size cap
                 (hyper-scale OOM analogue).
         """
-        start = time.perf_counter()
+        start = monotonic()
         clusters = self.cluster_sites(topology.network)
         catalog = topology.catalog
 
@@ -147,7 +147,7 @@ class NCFlowTE:
         # Data-plane realization: aggregated tunnel shares reach individual
         # flows by five-tuple hashing — NCFlow has no per-flow pinning.
         assignment, _ = hash_realize(topology, demands, aggregates)
-        runtime = time.perf_counter() - start
+        runtime = monotonic() - start
         return TEResult(
             scheme=self.scheme_name,
             assignment=assignment,
@@ -345,9 +345,9 @@ class NCFlowTE:
         problem = MaxAllFlowProblem(
             sub_topology, sub_demands, epsilon=self.objective_epsilon
         )
-        t0 = time.perf_counter()
+        t0 = monotonic()
         solution = solve_max_all_flow(problem, relaxed=True)
-        elapsed = time.perf_counter() - t0
+        elapsed = monotonic() - t0
         aggregates: list[np.ndarray] = []
         for local_k, (k, index_map) in enumerate(
             zip(pair_ids, tunnel_index_maps)

@@ -18,11 +18,11 @@ of schemes exhausts memory at hyper-scale (Figure 9's OOM regime).
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import monotonic
 from ..core.types import FlowAssignment, SiteAllocation, TEResult
 from .hash_te import hash_realize
 
@@ -72,7 +72,7 @@ class TealTE:
             ValueError: if the (flow, tunnel) tensor exceeds
                 :data:`MAX_TENSOR_ENTRIES` (hyper-scale OOM analogue).
         """
-        start = time.perf_counter()
+        start = monotonic()
         catalog = topology.catalog
         network = topology.network
 
@@ -108,7 +108,7 @@ class TealTE:
                 assignment=FlowAssignment.rejecting_all(demands),
                 demands=demands,
                 satisfied_volume=0.0,
-                runtime_s=time.perf_counter() - start,
+                runtime_s=monotonic() - start,
                 stats={"admm_iterations": self.admm_iterations},
             )
 
@@ -226,7 +226,7 @@ class TealTE:
             ]
         )
         assignment, _ = hash_realize(topology, demands, aggregates)
-        runtime = time.perf_counter() - start
+        runtime = monotonic() - start
         return TEResult(
             scheme=self.scheme_name,
             assignment=assignment,

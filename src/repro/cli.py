@@ -16,8 +16,12 @@ or figure (see DESIGN.md's per-experiment index).
 from __future__ import annotations
 
 import argparse
+import io
+import json
 import sys
+from dataclasses import asdict
 
+from . import obs
 from .experiments import (
     chaos_sync,
     database_study,
@@ -38,6 +42,35 @@ from .experiments import (
 from .experiments.reporting import render_table
 
 __all__ = ["main"]
+
+
+def _emit(text: str, out: str | None) -> None:
+    """Print ``text``, or write it to ``out`` when given.
+
+    Every reporting subcommand funnels its final output through here so
+    ``--out`` behaves identically across ``replay``/``chaos``/
+    ``metrics``/``trace``.
+    """
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return
+    print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _instrumented_replay(args):
+    """Run the standard replay scenario with telemetry collecting."""
+    from .experiments.interval_replay import run_interval_replay
+
+    obs.set_enabled(True)
+    obs.reset()
+    return run_interval_replay(
+        topology_name=args.topology,
+        total_endpoints=args.endpoints,
+        num_site_pairs=args.pairs,
+        num_intervals=args.intervals,
+        seed=args.seed,
+    )
 
 
 def _cmd_fig02(args) -> None:
@@ -327,6 +360,10 @@ def _cmd_fastssp(args) -> None:
 def _cmd_replay(args) -> None:
     from .experiments.interval_replay import run_cold_vs_incremental
 
+    instrument = bool(args.trace_out or args.metrics_out)
+    if instrument:
+        obs.set_enabled(True)
+        obs.reset()
     outcome = run_cold_vs_incremental(
         topology_name=args.topology,
         total_endpoints=args.endpoints,
@@ -336,15 +373,32 @@ def _cmd_replay(args) -> None:
         delta_threshold=args.delta_threshold,
         lp_backend=args.lp_backend,
     )
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            written = obs.get_tracer().to_jsonl(handle)
+        print(f"wrote {written} spans to {args.trace_out}")
+    if args.metrics_out:
+        registry = obs.get_registry()
+        if args.metrics_out.endswith(".json"):
+            text = (
+                json.dumps(obs.registry_to_json(registry), indent=2)
+                + "\n"
+            )
+        else:
+            text = obs.registry_to_prometheus(registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.json:
+        _emit(json.dumps(outcome, indent=2) + "\n", args.out)
+        return
     cold, inc = outcome["cold"], outcome["incremental"]
-    print(
+    lines = [
         f"Interval replay, cold vs incremental "
         f"({args.topology}, {cold['num_flows']} flows, "
         f"{args.intervals} intervals, "
         f"delta threshold {args.delta_threshold}, "
-        f"backend {inc['backend']}):"
-    )
-    print(
+        f"backend {inc['backend']}):",
         render_table(
             ["mode", "stage1_lp_s", "stage2_ssp_s", "lp_solves",
              "patched", "ssp_reused", "satisfied"],
@@ -355,13 +409,13 @@ def _cmd_replay(args) -> None:
                  inc["lp_solves"], inc["lp_solves_skipped"],
                  inc["ssp_state_reused"], inc["satisfied_volume"]),
             ],
-        )
-    )
-    print(
-        f"\nsolver speedup {outcome['solver_speedup']:.2f}x, "
+        ),
+        "",
+        f"solver speedup {outcome['solver_speedup']:.2f}x, "
         f"satisfied ratio {outcome['satisfied_ratio']:.4f}, "
-        f"digests {'match' if outcome['digest_match'] else 'differ'}"
-    )
+        f"digests {'match' if outcome['digest_match'] else 'differ'}",
+    ]
+    _emit("\n".join(lines) + "\n", args.out)
 
 
 def _cmd_chaos(args) -> None:
@@ -372,12 +426,16 @@ def _cmd_chaos(args) -> None:
         horizon_s=args.horizon,
         seed=args.seed,
     )
-    print(
+    if args.json:
+        _emit(
+            json.dumps([asdict(r) for r in rows], indent=2) + "\n",
+            args.out,
+        )
+        return
+    lines = [
         "Chaos study: sync availability vs fault intensity "
         f"({args.agents} agents, {args.shards} shards, "
-        f"{args.horizon:.0f}s horizon, seed {args.seed})"
-    )
-    print(
+        f"{args.horizon:.0f}s horizon, seed {args.seed})",
         render_table(
             ["intensity", "avail", "poll ok", "p50 stale",
              "p99 stale", "converged", "faults", "violations"],
@@ -388,6 +446,48 @@ def _cmd_chaos(args) -> None:
                  r.invariant_violations)
                 for r in rows
             ],
+        ),
+    ]
+    _emit("\n".join(lines) + "\n", args.out)
+
+
+def _cmd_metrics(args) -> None:
+    _instrumented_replay(args)
+    registry = obs.get_registry()
+    if args.json:
+        text = json.dumps(obs.registry_to_json(registry), indent=2) + "\n"
+    else:
+        text = obs.registry_to_prometheus(registry)
+    _emit(text, args.out)
+
+
+def _cmd_trace(args) -> None:
+    _instrumented_replay(args)
+    spans = obs.get_tracer().finished_spans()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            obs.spans_to_jsonl(spans, handle)
+        print(f"wrote {len(spans)} spans to {args.out}")
+        return
+    if args.json:
+        buffer = io.StringIO()
+        obs.spans_to_jsonl(spans, buffer)
+        print(buffer.getvalue(), end="")
+        return
+    rows = obs.summarize_spans(spans)
+    print(
+        f"Span profile: {args.topology}, {args.endpoints} endpoints, "
+        f"{args.intervals} intervals ({len(spans)} spans)"
+    )
+    print(
+        render_table(
+            ["span", "count", "total_s", "min_s", "max_s"],
+            [
+                (r["name"], r["count"], r["total_s"], r["min_s"],
+                 r["max_s"])
+                for r in rows
+            ],
+            precision=4,
         )
     )
 
@@ -407,11 +507,25 @@ _COMMANDS = {
     "fig17": _cmd_fig17,
     "chaos": _cmd_chaos,
     "replay": _cmd_replay,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "database": _cmd_database,
     "fastssp": _cmd_fastssp,
     "solve": _cmd_solve,
     "verify": _cmd_verify,
 }
+
+
+def _add_output_flags(p: argparse.ArgumentParser) -> None:
+    """The shared reporting flags: ``--json`` and ``--out``."""
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the table view",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -482,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=4)
     p.add_argument("--horizon", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_output_flags(p)
 
     p = sub.add_parser(
         "replay",
@@ -504,6 +619,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="LP backend (default: REPRO_LP_BACKEND env or scipy; "
              "highspy degrades to scipy when not installed)",
     )
+    p.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable telemetry and write the span trace as JSONL",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write the metrics dump "
+             "(Prometheus text, or a JSON snapshot for .json files)",
+    )
+    _add_output_flags(p)
+
+    for name, help_text in (
+        ("metrics", "run an instrumented replay, dump its metrics"),
+        ("trace", "run an instrumented replay, profile its spans"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--topology", default="twan")
+        p.add_argument("--endpoints", type=int, default=2_000)
+        p.add_argument("--pairs", type=int, default=20)
+        p.add_argument("--intervals", type=int, default=3)
+        p.add_argument("--seed", type=int, default=42)
+        _add_output_flags(p)
 
     p = sub.add_parser("fastssp", help="FastSSP accuracy study")
     p.add_argument("--instances", type=int, default=10)

@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import get_registry
 from .controller import EndpointConfig, VERSION_KEY, config_key
 from .database import SyncError, TEDatabase
 from .faults import deterministic_uniform
@@ -130,6 +131,7 @@ class EndpointAgent:
     retries: int = 0
     version_regressions: int = 0
     _last_poll_slot: int = field(default=-1, repr=False)
+    _was_degraded: bool = field(default=False, repr=False)
 
     def next_poll_time(self, now: float) -> float:
         """The first scheduled poll at or after ``now``."""
@@ -210,12 +212,16 @@ class EndpointAgent:
         """
         policy = self.retry_policy
         if policy is None:
-            return self._poll_once(database, now)
+            installed = self._poll_once(database, now)
+            self._note_poll(installed, failed=False, now=now)
+            return installed
         deadline = now + policy.poll_budget_s
         t = now
         for attempt in range(policy.max_retries + 1):
             try:
-                return self._poll_once(database, t)
+                installed = self._poll_once(database, t)
+                self._note_poll(installed, failed=False, now=t)
+                return installed
             except SyncError:
                 if attempt >= policy.max_retries:
                     break
@@ -224,8 +230,51 @@ class EndpointAgent:
                     break
                 t += delay
                 self.retries += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "megate_agent_retries_total",
+                        "Endpoint-agent poll retry attempts",
+                    ).inc()
         self.failed_polls += 1
+        self._note_poll(False, failed=True, now=now)
         return False
+
+    def _note_poll(
+        self, installed: bool, failed: bool, now: float
+    ) -> None:
+        """Record one completed poll's outcome and freshness metrics."""
+        degraded = self.is_degraded(now)
+        newly_degraded = degraded and not self._was_degraded
+        self._was_degraded = degraded
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        outcome = (
+            "failed" if failed else "installed" if installed else "noop"
+        )
+        registry.counter(
+            "megate_agent_polls_total",
+            "Endpoint-agent polls by outcome",
+            labelnames=("outcome",),
+        ).labels(outcome=outcome).inc()
+        if installed:
+            registry.counter(
+                "megate_agent_installs_total",
+                "Endpoint configurations installed by agents",
+            ).inc()
+        staleness = self.staleness_s(now)
+        if 0.0 <= staleness < math.inf:
+            registry.histogram(
+                "megate_agent_staleness_seconds",
+                "Seconds since each polling agent last confirmed "
+                "freshness (simulated clock)",
+            ).observe(staleness)
+        if newly_degraded:
+            registry.counter(
+                "megate_agent_degraded_transitions_total",
+                "Agents crossing their staleness bound into degraded",
+            ).inc()
 
     def maybe_poll(self, database: TEDatabase, now: float) -> bool:
         """Poll only when ``now`` lands on a new scheduled slot."""

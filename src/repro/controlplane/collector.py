@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.flowtable import FlowTable, csr_offsets
 from ..core.qos import QoSClass
+from ..obs import get_registry, get_tracer
 from ..traffic.demand import DemandMatrix
 
 if TYPE_CHECKING:
@@ -142,35 +143,52 @@ class DemandCollector:
         Args:
             clear: Reset the accumulator for the next interval.
         """
-        catalog = self.topology.catalog
-        num_pairs = catalog.num_pairs
-        n = len(self._flows)
-        src = np.empty(n, dtype=np.int64)
-        dst = np.empty(n, dtype=np.int64)
-        byte_counts = np.empty(n, dtype=np.float64)
-        qos = np.empty(n, dtype=np.int8)
-        ks = np.empty(n, dtype=np.int64)
-        for i, ((s, d), entry) in enumerate(self._flows.items()):
-            src[i] = s
-            dst[i] = d
-            byte_counts[i] = entry[0]
-            qos[i] = entry[1]
-            ks[i] = entry[2]
+        with get_tracer().span(
+            "collector.build_matrix", num_flows=len(self._flows)
+        ) as sp:
+            catalog = self.topology.catalog
+            num_pairs = catalog.num_pairs
+            n = len(self._flows)
+            src = np.empty(n, dtype=np.int64)
+            dst = np.empty(n, dtype=np.int64)
+            byte_counts = np.empty(n, dtype=np.float64)
+            qos = np.empty(n, dtype=np.int8)
+            ks = np.empty(n, dtype=np.int64)
+            for i, ((s, d), entry) in enumerate(self._flows.items()):
+                src[i] = s
+                dst[i] = d
+                byte_counts[i] = entry[0]
+                qos[i] = entry[1]
+                ks[i] = entry[2]
 
-        # Canonical order: (k, src, dst) — determinism regardless of the
-        # order agents reported in.  lexsort's last key is primary.
-        order = np.lexsort((dst, src, ks))
-        ks = ks[order]
-        volumes = byte_counts[order] * 8.0 / self.interval_seconds / 1e9
-        counts = np.bincount(ks, minlength=num_pairs)
-        table = FlowTable(
-            csr_offsets(counts),
-            volumes,
-            qos[order],
-            src[order],
-            dst[order],
-            has_endpoints=counts > 0,
-        )
-        if clear:
-            self._flows.clear()
+            # Canonical order: (k, src, dst) — determinism regardless of
+            # the order agents reported in.  lexsort's last key is
+            # primary.
+            order = np.lexsort((dst, src, ks))
+            ks = ks[order]
+            volumes = (
+                byte_counts[order] * 8.0 / self.interval_seconds / 1e9
+            )
+            counts = np.bincount(ks, minlength=num_pairs)
+            table = FlowTable(
+                csr_offsets(counts),
+                volumes,
+                qos[order],
+                src[order],
+                dst[order],
+                has_endpoints=counts > 0,
+            )
+            if clear:
+                self._flows.clear()
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "megate_collector_build_seconds",
+                "Time to flatten accumulated flow reports into a "
+                "demand matrix",
+            ).observe(sp.duration_s)
+            registry.counter(
+                "megate_collector_flows_total",
+                "Flow records flattened into demand matrices",
+            ).inc(n)
         return DemandMatrix.from_table(table)

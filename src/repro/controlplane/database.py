@@ -17,7 +17,21 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Hashable
 
+from ..obs import get_registry
+
 __all__ = ["ShardStats", "SyncError", "TEDatabase", "QueryRejected"]
+
+
+def _record_query(op: str) -> None:
+    """Count one served query in the shared metrics registry."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "megate_tedb_queries_total",
+        "TE database queries served, by operation",
+        labelnames=("op",),
+    ).labels(op=op).inc()
 
 #: Queries per second one shard sustains (two shards -> 160k, §3.2).
 SHARD_CAPACITY_QPS = 80_000
@@ -119,6 +133,12 @@ class TEDatabase:
             # The shard never served this query: count the rejection but
             # leave the served-load counters (and peak_qps) untouched.
             stats.rejected += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "megate_tedb_rejected_total",
+                    "TE database queries rejected for shard capacity",
+                ).inc()
             raise QueryRejected(
                 f"shard {shard} over capacity at t={second}s"
             )
@@ -132,6 +152,7 @@ class TEDatabase:
         """Store a value; returns the new monotonically increasing version."""
         shard = self.shard_of(key)
         self._account(shard, now)
+        _record_query("put")
         existing = self._data[shard].get(key)
         version = (existing.version + 1) if existing else 1
         self._data[shard][key] = _VersionedValue(value=value, version=version)
@@ -146,6 +167,7 @@ class TEDatabase:
         """
         shard = self.shard_of(key)
         self._account(shard, now)
+        _record_query("get")
         stored = self._data[shard][key]
         return stored.value, stored.version
 
@@ -156,6 +178,7 @@ class TEDatabase:
         """
         shard = self.shard_of(key)
         self._account(shard, now)
+        _record_query("get_version")
         stored = self._data[shard].get(key)
         return stored.version if stored else 0
 

@@ -25,7 +25,6 @@ remains as a thin compatibility wrapper over the cached solver.
 from __future__ import annotations
 
 import threading
-import time
 import warnings
 import weakref
 from typing import TYPE_CHECKING
@@ -34,6 +33,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from ..obs import get_registry, get_tracer
 from .lp_backend import BackendUnavailable, make_backend, resolve_backend_name
 from .types import SiteAllocation
 
@@ -92,7 +92,23 @@ class SiteFlowSolver:
     """
 
     def __init__(self, topology: "TwoLayerTopology") -> None:
-        t0 = time.perf_counter()
+        with get_tracer().span("siteflow.build") as sp:
+            self._build(topology)
+            sp.set_attribute("num_pairs", self.num_pairs)
+        #: Wall-clock spent building the scaffolding (observability).
+        self.build_seconds = sp.duration_s
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "megate_siteflow_builds_total",
+                "SiteFlowSolver scaffolding builds (cache misses)",
+            ).inc()
+            registry.histogram(
+                "megate_siteflow_build_seconds",
+                "Time to build the LP scaffolding for one topology",
+            ).observe(self.build_seconds)
+
+    def _build(self, topology: "TwoLayerTopology") -> None:
         catalog = topology.catalog
         self.catalog = catalog
         self.num_pairs = catalog.num_pairs
@@ -181,8 +197,6 @@ class SiteFlowSolver:
         #: the optimizer right after each solve for its stats.
         self.last_backend = "scipy"
         self.last_warm_start = False
-        #: Wall-clock spent building the scaffolding (observability).
-        self.build_seconds = time.perf_counter() - t0
 
     @classmethod
     def for_topology(
@@ -330,25 +344,35 @@ class SiteFlowSolver:
         cost = -(1.0 - eps * weights)
         b_ub = np.concatenate([site_demands, np.maximum(caps, 0.0)])
         impl = self._backend_for(resolve_backend_name(backend))
-        if impl.name == "scipy":
-            x, warm = impl.solve(cost, b_ub)
-        else:
-            try:
+        with get_tracer().span(
+            "siteflow.lp_solve", backend=impl.name
+        ) as sp:
+            if impl.name == "scipy":
                 x, warm = impl.solve(cost, b_ub)
-            except Exception as exc:
-                # Optional backends must never break the serving loop:
-                # degrade this solver to scipy for the rest of the
-                # process and re-solve the call that failed.
-                warnings.warn(
-                    f"LP backend {impl.name!r} failed ({exc}); "
-                    "falling back to scipy",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                self._broken_backends.add(impl.name)
-                self._backends.pop(impl.name, None)
-                impl = self._backend_for("scipy")
-                x, warm = impl.solve(cost, b_ub)
+            else:
+                try:
+                    x, warm = impl.solve(cost, b_ub)
+                except Exception as exc:
+                    # Optional backends must never break the serving
+                    # loop: degrade this solver to scipy for the rest
+                    # of the process and re-solve the call that failed.
+                    warnings.warn(
+                        f"LP backend {impl.name!r} failed ({exc}); "
+                        "falling back to scipy",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    get_registry().counter(
+                        "megate_lp_backend_fallbacks_total",
+                        "LP backend runtime failures degraded to scipy",
+                        labelnames=("backend",),
+                    ).labels(backend=impl.name).inc()
+                    self._broken_backends.add(impl.name)
+                    self._backends.pop(impl.name, None)
+                    impl = self._backend_for("scipy")
+                    x, warm = impl.solve(cost, b_ub)
+            sp.set_attribute("backend", impl.name)
+            sp.set_attribute("warm_start", warm)
         self.last_backend = impl.name
         self.last_warm_start = warm
         return x

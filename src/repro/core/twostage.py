@@ -49,13 +49,13 @@ contract (``delta_threshold=0.0`` is bit-exact with the cold path).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from typing import TYPE_CHECKING
 
+from ..obs import get_registry, get_tracer, monotonic
 from .batch import triage_ssp_segments
 from .fastssp import fast_ssp
 from .formulation import MaxAllFlowProblem
@@ -71,23 +71,20 @@ from .lp_backend import resolve_backend_name
 from .parallel import parallel_map
 from .qos import PRIORITY_ORDER, QoSClass
 from .siteflow import SiteFlowSolver
-from .types import FlowAssignment, SiteAllocation, TEResult, UNASSIGNED
+from .types import (
+    PHASE_KEYS,
+    FlowAssignment,
+    SiteAllocation,
+    StatKey,
+    TEResult,
+    UNASSIGNED,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
     from ..topology.contraction import TwoLayerTopology
     from ..traffic.demand import DemandMatrix
 
-__all__ = ["MegaTEOptimizer"]
-
-#: Keys of the per-phase timing breakdown in ``TEResult.stats["phase_s"]``.
-PHASE_KEYS = (
-    "matrix_build",
-    "lp_solve",
-    "delta_patch",
-    "triage",
-    "contended_ssp",
-    "residual_update",
-)
+__all__ = ["MegaTEOptimizer", "PHASE_KEYS"]
 
 
 @dataclass
@@ -241,20 +238,94 @@ class MegaTEOptimizer:
     ) -> TEResult:
         """Compute the TE allocation for one interval.
 
+        The whole solve runs under a ``te.solve`` span with one child
+        span per phase (``te.phase.*``) — the same measurements that
+        populate ``stats["phase_s"]``, so the trace and the stats dict
+        can never disagree.  Telemetry never affects the result: the
+        assignment is bit-identical with tracing on or off.
+
         Returns:
             A :class:`TEResult` whose assignment satisfies constraints
             (1a)-(1c): no link overloaded, at most one tunnel per flow.
             ``stats["phase_s"]`` breaks the runtime down by phase (see
             :data:`PHASE_KEYS`).
         """
+        with get_tracer().span(
+            "te.solve", scheme=self.scheme_name
+        ) as span:
+            result = self._solve_impl(topology, demands)
+            span.set_attribute("num_flows", result.assignment.num_flows())
+            span.set_attribute(
+                "satisfied_fraction", result.satisfied_fraction
+            )
+            span.set_attribute("backend", result.stats[StatKey.BACKEND])
+        self._record_metrics(result)
+        return result
+
+    def _record_metrics(self, result: TEResult) -> None:
+        """Fold one solve's diagnostics into the shared metrics registry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        stats = result.stats
+        registry.counter(
+            "megate_solves_total", "TE interval solves completed"
+        ).inc()
+        pair_kinds = registry.counter(
+            "megate_pairs_total",
+            "Second-stage site pairs by triage outcome",
+            labelnames=("kind",),
+        )
+        pair_kinds.labels(kind="uncontended").inc(
+            stats[StatKey.NUM_UNCONTENDED_PAIRS]
+        )
+        pair_kinds.labels(kind="contended").inc(
+            stats[StatKey.NUM_CONTENDED_PAIRS]
+        )
+        lp = registry.counter(
+            "megate_lp_solves_total",
+            "Stage-1 LP solves by outcome",
+            labelnames=("outcome",),
+        )
+        lp.labels(outcome="solved").inc(stats[StatKey.LP_SOLVES])
+        lp.labels(outcome="skipped").inc(stats[StatKey.LP_SOLVES_SKIPPED])
+        lp.labels(outcome="warm_start").inc(stats[StatKey.LP_WARM_START])
+        reuse = registry.counter(
+            "megate_incremental_reuse_total",
+            "Incremental-engine fast paths taken",
+            labelnames=("path",),
+        )
+        reuse.labels(path="delta_patch").inc(
+            stats[StatKey.PAIRS_DELTA_PATCHED]
+        )
+        reuse.labels(path="ssp_state").inc(stats[StatKey.SSP_STATE_REUSED])
+        phase_hist = registry.histogram(
+            "megate_phase_seconds",
+            "Per-interval solver phase durations",
+            labelnames=("phase",),
+        )
+        for name, seconds in stats[StatKey.PHASE_S].items():
+            phase_hist.labels(phase=name).observe(seconds)
+        registry.histogram(
+            "megate_solve_seconds", "Whole-interval solve duration"
+        ).observe(result.runtime_s)
+        registry.gauge(
+            "megate_satisfied_fraction",
+            "Satisfied demand fraction of the latest solve",
+        ).set(result.satisfied_fraction)
+
+    def _solve_impl(
+        self, topology: TwoLayerTopology, demands: DemandMatrix
+    ) -> TEResult:
+        tracer = get_tracer()
         problem = MaxAllFlowProblem(
             topology, demands, epsilon=self.objective_epsilon
         )
-        start = time.perf_counter()
+        start = monotonic()
         phase = dict.fromkeys(PHASE_KEYS, 0.0)
-        t0 = start
-        solver = SiteFlowSolver.for_topology(topology)
-        phase["matrix_build"] = time.perf_counter() - t0
+        with tracer.span("te.phase.matrix_build") as sp:
+            solver = SiteFlowSolver.for_topology(topology)
+        phase[StatKey.PHASE_MATRIX_BUILD] = sp.duration_s
         offsets = solver.tunnel_offsets
         num_pairs = solver.num_pairs
         if demands.num_site_pairs != num_pairs:
@@ -327,98 +398,112 @@ class MegaTEOptimizer:
             if not np.any(class_demands > 0):
                 continue
 
-            t0 = time.perf_counter()
-            attribute = self.class_tunnel_attribute.get(qos, "weight")
-            # Overridden weights (e.g. cost for bulk) get a stronger ε so
-            # the LP actively steers toward preferred tunnels; throughput
-            # still dominates (coefficients stay >= 0.7).
-            if attribute == "weight":
-                class_weights = None
-                class_epsilon: float | None = problem.effective_epsilon
-            else:
-                class_weights = solver.tunnel_attribute(attribute)
-                class_epsilon = None
-                if class_weights.size:
-                    max_w = float(class_weights.max())
-                    class_epsilon = 0.3 / max_w if max_w > 0 else 0.0
-            orders, ordered_cols = solver.fill_orders(attribute)
-            population_same = (
-                state.sync_class_population(qos.value, cls_idx)
-                if state is not None
-                else False
-            )
-            residual_in = residual.copy() if state is not None else None
-            alloc_flat = None
-            if state is not None and carried:
-                cls_state = state.lp.get(qos.value)
-                if cls_state is not None:
-                    patch = patch_class_allocation(
-                        solver,
-                        cls_state,
-                        class_demands,
-                        residual,
-                        ordered_cols,
-                        inc.delta_threshold,
-                    )
-                    if patch.alloc is not None:
-                        alloc_flat = patch.alloc
-                        lp_solves_skipped += 1
-                        pairs_delta_patched += patch.pairs_patched
-            patched = alloc_flat is not None
-            if not patched:
-                alloc_flat = solver.solve_flat(
-                    class_demands,
-                    capacities=residual,
-                    tunnel_weights=class_weights,
-                    epsilon=class_epsilon,
-                    backend=self.lp_backend,
+            # Stage 1 under one span; the span renames itself to the
+            # ``delta_patch`` phase when the fast path absorbed the LP.
+            with tracer.span("te.phase.lp_solve", qos=qos.value) as sp:
+                attribute = self.class_tunnel_attribute.get(qos, "weight")
+                # Overridden weights (e.g. cost for bulk) get a stronger
+                # ε so the LP actively steers toward preferred tunnels;
+                # throughput still dominates (coefficients stay >= 0.7).
+                if attribute == "weight":
+                    class_weights = None
+                    class_epsilon: float | None = problem.effective_epsilon
+                else:
+                    class_weights = solver.tunnel_attribute(attribute)
+                    class_epsilon = None
+                    if class_weights.size:
+                        max_w = float(class_weights.max())
+                        class_epsilon = 0.3 / max_w if max_w > 0 else 0.0
+                orders, ordered_cols = solver.fill_orders(attribute)
+                population_same = (
+                    state.sync_class_population(qos.value, cls_idx)
+                    if state is not None
+                    else False
                 )
-                lp_solves += 1
-                if solver.last_warm_start:
-                    lp_warm_starts += 1
-                backend_used = solver.last_backend
-            site_alloc = solver.split(alloc_flat)
-            dt = time.perf_counter() - t0
+                residual_in = (
+                    residual.copy() if state is not None else None
+                )
+                alloc_flat = None
+                if state is not None and carried:
+                    cls_state = state.lp.get(qos.value)
+                    if cls_state is not None:
+                        patch = patch_class_allocation(
+                            solver,
+                            cls_state,
+                            class_demands,
+                            residual,
+                            ordered_cols,
+                            inc.delta_threshold,
+                        )
+                        if patch.alloc is not None:
+                            alloc_flat = patch.alloc
+                            lp_solves_skipped += 1
+                            pairs_delta_patched += patch.pairs_patched
+                patched = alloc_flat is not None
+                if not patched:
+                    alloc_flat = solver.solve_flat(
+                        class_demands,
+                        capacities=residual,
+                        tunnel_weights=class_weights,
+                        epsilon=class_epsilon,
+                        backend=self.lp_backend,
+                    )
+                    lp_solves += 1
+                    if solver.last_warm_start:
+                        lp_warm_starts += 1
+                    backend_used = solver.last_backend
+                else:
+                    sp.name = "te.phase.delta_patch"
+                site_alloc = solver.split(alloc_flat)
+            dt = sp.duration_s
             stage1_s += dt
-            phase["delta_patch" if patched else "lp_solve"] += dt
+            phase[
+                StatKey.PHASE_DELTA_PATCH
+                if patched
+                else StatKey.PHASE_LP_SOLVE
+            ] += dt
             placed_flat = np.zeros(solver.num_tunnel_vars)
             contrib: dict[int, float] = {}
 
             if self.second_stage == "serial":
-                t0 = time.perf_counter()
-                outcomes = parallel_map(
-                    lambda k: self._solve_pair(
-                        k,
-                        cls_vol[seg[k] : seg[k + 1]],
-                        site_alloc.per_pair[k],
-                        orders[k],
-                    ),
-                    list(range(num_pairs)),
-                    workers=self.workers,
-                )
-                dt = time.perf_counter() - t0
+                with tracer.span(
+                    "te.phase.contended_ssp", qos=qos.value
+                ) as sp:
+                    outcomes = parallel_map(
+                        lambda k: self._solve_pair(
+                            k,
+                            cls_vol[seg[k] : seg[k + 1]],
+                            site_alloc.per_pair[k],
+                            orders[k],
+                        ),
+                        list(range(num_pairs)),
+                        workers=self.workers,
+                    )
+                dt = sp.duration_s
                 stage2_s += dt
-                phase["contended_ssp"] += dt
+                phase[StatKey.PHASE_CONTENDED_SSP] += dt
                 num_contended += len(outcomes)
             else:
                 # Triage, columnar: a pair whose whole class demand fits
                 # its first positive-allocation tunnel needs no FastSSP.
                 # Candidates and the fits/contended split come straight
                 # from the CSR segment bounds — no per-instance objects.
-                t0 = time.perf_counter()
-                first_cols = _first_positive_columns(
-                    alloc_flat, ordered_cols, offsets
-                )
-                candidates = np.flatnonzero(
-                    (seg[1:] > seg[:-1]) & (first_cols >= 0)
-                )
-                fits_pos, contended_pos = triage_ssp_segments(
-                    class_demands[candidates],
-                    alloc_flat[first_cols[candidates]],
-                )
-                dt = time.perf_counter() - t0
+                with tracer.span(
+                    "te.phase.triage", qos=qos.value
+                ) as sp:
+                    first_cols = _first_positive_columns(
+                        alloc_flat, ordered_cols, offsets
+                    )
+                    candidates = np.flatnonzero(
+                        (seg[1:] > seg[:-1]) & (first_cols >= 0)
+                    )
+                    fits_pos, contended_pos = triage_ssp_segments(
+                        class_demands[candidates],
+                        alloc_flat[first_cols[candidates]],
+                    )
+                dt = sp.duration_s
                 stage2_s += dt
-                phase["triage"] += dt
+                phase[StatKey.PHASE_TRIAGE] += dt
 
                 # Uncontended pairs: everything rides the preferred
                 # tunnel; scatter the select-all results directly into
@@ -433,64 +518,70 @@ class MegaTEOptimizer:
                     contrib[int(k)] = float(total)
                     num_uncontended += 1
 
-                t0 = time.perf_counter()
-                contended_ks = [int(k) for k in candidates[contended_pos]]
-                # Carried second-stage state: re-validate each contended
-                # pair's previous assignment against the new volumes and
-                # allocation; pairs whose warm fill lands within the
-                # FastSSP precision target skip the cold solve.  Only
-                # sound when the class's flow population is unchanged
-                # (the assignment indexes flow positions) and disabled
-                # at threshold 0 to keep the bit-exactness contract.
-                warm_outcomes: list[_PairOutcome] = []
-                if (
-                    state is not None
-                    and carried
-                    and population_same
-                    and inc.carry_ssp_state
-                    and inc.delta_threshold > 0.0
-                ):
-                    cold_ks = []
-                    for k in contended_ks:
-                        prev = state.ssp_assigned.get((qos.value, k))
-                        warm = (
-                            warm_fill_pair(
-                                cls_vol[seg[k] : seg[k + 1]],
-                                site_alloc.per_pair[k],
-                                orders[k],
-                                prev,
-                                self.fastssp_epsilon,
-                            )
-                            if prev is not None
-                            else None
-                        )
-                        if warm is None:
-                            cold_ks.append(k)
-                        else:
-                            warm_outcomes.append(
-                                _PairOutcome(
-                                    k=k,
-                                    assigned_tunnel=warm[0],
-                                    placed_per_tunnel=warm[1],
+                with tracer.span(
+                    "te.phase.contended_ssp", qos=qos.value
+                ) as sp:
+                    contended_ks = [
+                        int(k) for k in candidates[contended_pos]
+                    ]
+                    # Carried second-stage state: re-validate each
+                    # contended pair's previous assignment against the
+                    # new volumes and allocation; pairs whose warm fill
+                    # lands within the FastSSP precision target skip the
+                    # cold solve.  Only sound when the class's flow
+                    # population is unchanged (the assignment indexes
+                    # flow positions) and disabled at threshold 0 to
+                    # keep the bit-exactness contract.
+                    warm_outcomes: list[_PairOutcome] = []
+                    if (
+                        state is not None
+                        and carried
+                        and population_same
+                        and inc.carry_ssp_state
+                        and inc.delta_threshold > 0.0
+                    ):
+                        cold_ks = []
+                        for k in contended_ks:
+                            prev = state.ssp_assigned.get((qos.value, k))
+                            warm = (
+                                warm_fill_pair(
+                                    cls_vol[seg[k] : seg[k + 1]],
+                                    site_alloc.per_pair[k],
+                                    orders[k],
+                                    prev,
+                                    self.fastssp_epsilon,
                                 )
+                                if prev is not None
+                                else None
                             )
-                    contended_ks = cold_ks
-                outcomes = parallel_map(
-                    lambda k: self._solve_pair(
-                        k,
-                        cls_vol[seg[k] : seg[k + 1]],
-                        site_alloc.per_pair[k],
-                        orders[k],
-                    ),
-                    contended_ks,
-                    workers=self.workers,
-                )
-                if warm_outcomes:
-                    ssp_state_reused += len(warm_outcomes)
-                    outcomes = list(outcomes) + warm_outcomes
-                dt = time.perf_counter() - t0
+                            if warm is None:
+                                cold_ks.append(k)
+                            else:
+                                warm_outcomes.append(
+                                    _PairOutcome(
+                                        k=k,
+                                        assigned_tunnel=warm[0],
+                                        placed_per_tunnel=warm[1],
+                                    )
+                                )
+                        contended_ks = cold_ks
+                    outcomes = parallel_map(
+                        lambda k: self._solve_pair(
+                            k,
+                            cls_vol[seg[k] : seg[k + 1]],
+                            site_alloc.per_pair[k],
+                            orders[k],
+                        ),
+                        contended_ks,
+                        workers=self.workers,
+                    )
+                    if warm_outcomes:
+                        ssp_state_reused += len(warm_outcomes)
+                        outcomes = list(outcomes) + warm_outcomes
+                    sp.set_attribute("num_pairs", len(outcomes))
+                dt = sp.duration_s
                 stage2_s += dt
-                phase["contended_ssp"] += dt
+                phase[StatKey.PHASE_CONTENDED_SSP] += dt
                 num_contended += len(outcomes)
 
             for outcome in outcomes:
@@ -528,14 +619,16 @@ class MegaTEOptimizer:
             # one unbuffered scatter-subtract through the precomputed
             # incidence, applied in the same entry order as per-tunnel
             # bookkeeping (hence bit-identical to it).
-            t0 = time.perf_counter()
-            np.subtract.at(
-                residual,
-                solver.incidence_rows,
-                placed_flat[solver.incidence_cols],
-            )
-            np.maximum(residual, 0.0, out=residual)
-            phase["residual_update"] += time.perf_counter() - t0
+            with tracer.span(
+                "te.phase.residual_update", qos=qos.value
+            ) as sp:
+                np.subtract.at(
+                    residual,
+                    solver.incidence_rows,
+                    placed_flat[solver.incidence_cols],
+                )
+                np.maximum(residual, 0.0, out=residual)
+            phase[StatKey.PHASE_RESIDUAL_UPDATE] += sp.duration_s
 
             satisfied += class_satisfied
             per_class_satisfied[qos.value] = class_satisfied
@@ -543,7 +636,7 @@ class MegaTEOptimizer:
         if state is not None:
             state.interval_index += 1
 
-        runtime = time.perf_counter() - start
+        runtime = monotonic() - start
         return TEResult(
             scheme=self.scheme_name,
             assignment=assignment,
@@ -552,25 +645,25 @@ class MegaTEOptimizer:
             runtime_s=runtime,
             site_allocation=combined,
             stats={
-                "stage1_lp_s": stage1_s,
-                "stage2_ssp_s": stage2_s,
-                "fastssp_epsilon": self.fastssp_epsilon,
-                "satisfied_by_class": per_class_satisfied,
-                "phase_s": phase,
-                "second_stage": self.second_stage,
-                "num_uncontended_pairs": num_uncontended,
-                "num_contended_pairs": num_contended,
-                "backend": (
+                StatKey.STAGE1_LP_S: stage1_s,
+                StatKey.STAGE2_SSP_S: stage2_s,
+                StatKey.FASTSSP_EPSILON: self.fastssp_epsilon,
+                StatKey.SATISFIED_BY_CLASS: per_class_satisfied,
+                StatKey.PHASE_S: phase,
+                StatKey.SECOND_STAGE: self.second_stage,
+                StatKey.NUM_UNCONTENDED_PAIRS: num_uncontended,
+                StatKey.NUM_CONTENDED_PAIRS: num_contended,
+                StatKey.BACKEND: (
                     backend_used
                     if backend_used is not None
                     else resolve_backend_name(self.lp_backend)
                 ),
-                "lp_warm_start": lp_warm_starts,
-                "lp_solves": lp_solves,
-                "lp_solves_skipped": lp_solves_skipped,
-                "pairs_delta_patched": pairs_delta_patched,
-                "ssp_state_reused": ssp_state_reused,
-                "incremental": inc is not None,
+                StatKey.LP_WARM_START: lp_warm_starts,
+                StatKey.LP_SOLVES: lp_solves,
+                StatKey.LP_SOLVES_SKIPPED: lp_solves_skipped,
+                StatKey.PAIRS_DELTA_PATCHED: pairs_delta_patched,
+                StatKey.SSP_STATE_REUSED: ssp_state_reused,
+                StatKey.INCREMENTAL: inc is not None,
             },
         )
 

@@ -23,6 +23,8 @@ __all__ = [
     "FlowAssignment",
     "TEResult",
     "FeasibilityReport",
+    "StatKey",
+    "PHASE_KEYS",
     "check_feasibility",
 ]
 
@@ -30,6 +32,54 @@ __all__ = [
 #: negative sentinel an assignment array may carry: every entry is either
 #: a valid tunnel index (``>= 0``) or exactly ``UNASSIGNED``.
 UNASSIGNED = -1
+
+
+class StatKey:
+    """Canonical keys of ``TEResult.stats`` (and per-mode bench dicts).
+
+    The optimizer, the replay harness, the perf bench, and the tests all
+    read the same solver diagnostics; these constants are the single
+    definition of their spelling.  The values are unchanged from the
+    historical string literals, so dicts written by earlier releases
+    still read back — raw literals are deprecated in new code but remain
+    valid keys for one release.
+    """
+
+    STAGE1_LP_S = "stage1_lp_s"
+    STAGE2_SSP_S = "stage2_ssp_s"
+    FASTSSP_EPSILON = "fastssp_epsilon"
+    SATISFIED_BY_CLASS = "satisfied_by_class"
+    PHASE_S = "phase_s"
+    SECOND_STAGE = "second_stage"
+    NUM_UNCONTENDED_PAIRS = "num_uncontended_pairs"
+    NUM_CONTENDED_PAIRS = "num_contended_pairs"
+    BACKEND = "backend"
+    LP_WARM_START = "lp_warm_start"
+    LP_SOLVES = "lp_solves"
+    LP_SOLVES_SKIPPED = "lp_solves_skipped"
+    PAIRS_DELTA_PATCHED = "pairs_delta_patched"
+    SSP_STATE_REUSED = "ssp_state_reused"
+    INCREMENTAL = "incremental"
+
+    # Phases of the ``phase_s`` breakdown.
+    PHASE_MATRIX_BUILD = "matrix_build"
+    PHASE_LP_SOLVE = "lp_solve"
+    PHASE_DELTA_PATCH = "delta_patch"
+    PHASE_TRIAGE = "triage"
+    PHASE_CONTENDED_SSP = "contended_ssp"
+    PHASE_RESIDUAL_UPDATE = "residual_update"
+
+
+#: Keys of the per-phase timing breakdown in ``TEResult.stats["phase_s"]``
+#: (also re-exported by :mod:`repro.core.twostage` for compatibility).
+PHASE_KEYS = (
+    StatKey.PHASE_MATRIX_BUILD,
+    StatKey.PHASE_LP_SOLVE,
+    StatKey.PHASE_DELTA_PATCH,
+    StatKey.PHASE_TRIAGE,
+    StatKey.PHASE_CONTENDED_SSP,
+    StatKey.PHASE_RESIDUAL_UPDATE,
+)
 
 
 def _flatten(

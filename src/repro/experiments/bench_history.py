@@ -1,0 +1,175 @@
+"""Schema validation for ``BENCH_interval_solve.json`` history records.
+
+The interval-solve benchmark appends one timestamped record per run to
+the artifact's ``history`` list, building the perf trajectory across
+PRs.  A silent schema drift — a renamed key, a mode summary that lost
+its timings — would corrupt that trajectory without failing anything, so
+the benchmark validates every record it loads *and* the record it is
+about to append through :func:`validate_history_record`; corruption
+raises :class:`BenchHistoryError` instead of propagating into the
+artifact.
+
+The schema is deliberately minimal: it pins the keys the trajectory
+tooling actually reads (identity, config, per-mode timing summaries)
+and ignores everything else, so adding new fields to a record never
+breaks old validators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "BenchHistoryError",
+    "validate_history_record",
+    "load_history",
+]
+
+#: Keys every history record must carry.
+REQUIRED_KEYS = (
+    "timestamp",
+    "git_sha",
+    "backend",
+    "config",
+    "realization_s",
+    "batched",
+    "serial",
+    "incremental",
+    "incremental_speedup_vs_batched",
+)
+
+#: Keys every per-mode replay summary (``batched``/``serial``/...) must
+#: carry — the timing and equivalence fields the trajectory reads.
+MODE_KEYS = (
+    "stage1_lp_s",
+    "stage2_ssp_s",
+    "num_intervals",
+    "assignment_digest",
+    "backend",
+)
+
+#: Keys the replay ``config`` must pin for runs to be comparable.
+CONFIG_KEYS = (
+    "topology_name",
+    "total_endpoints",
+    "num_site_pairs",
+    "num_intervals",
+    "seed",
+)
+
+
+class BenchHistoryError(ValueError):
+    """A benchmark history record (or the artifact) violates the schema."""
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise BenchHistoryError(f"{where}: {message}")
+
+
+def _validate_mode(summary: object, where: str) -> None:
+    _require(isinstance(summary, dict), where, "mode summary must be a dict")
+    for key in MODE_KEYS:
+        _require(key in summary, where, f"mode summary missing {key!r}")
+    for key in ("stage1_lp_s", "stage2_ssp_s"):
+        value = summary[key]
+        _require(
+            isinstance(value, (int, float)) and value >= 0,
+            where,
+            f"{key} must be a non-negative number",
+        )
+    _require(
+        isinstance(summary["assignment_digest"], str)
+        and len(summary["assignment_digest"]) == 64,
+        where,
+        "assignment_digest must be a SHA-256 hex string",
+    )
+
+
+def validate_history_record(record: object, index: int | None = None) -> None:
+    """Check one history record against the schema.
+
+    Args:
+        record: The candidate record.
+        index: Position in the history list, for error messages.
+
+    Raises:
+        BenchHistoryError: On any schema violation, naming the offending
+            record and field.
+    """
+    where = "history record" if index is None else f"history[{index}]"
+    _require(isinstance(record, dict), where, "record must be a dict")
+    for key in REQUIRED_KEYS:
+        _require(key in record, where, f"missing required key {key!r}")
+    _require(
+        isinstance(record["timestamp"], str) and record["timestamp"],
+        where,
+        "timestamp must be a non-empty string",
+    )
+    _require(
+        isinstance(record["git_sha"], str) and record["git_sha"],
+        where,
+        "git_sha must be a non-empty string",
+    )
+    _require(
+        isinstance(record["backend"], str) and record["backend"],
+        where,
+        "backend must be a non-empty string",
+    )
+    config = record["config"]
+    _require(isinstance(config, dict), where, "config must be a dict")
+    for key in CONFIG_KEYS:
+        _require(key in config, where, f"config missing {key!r}")
+    realization = record["realization_s"]
+    _require(
+        isinstance(realization, dict) and realization,
+        where,
+        "realization_s must be a non-empty dict",
+    )
+    for phase, seconds in realization.items():
+        _require(
+            isinstance(seconds, (int, float)) and seconds >= 0,
+            where,
+            f"realization_s[{phase!r}] must be a non-negative number",
+        )
+    for mode in ("batched", "serial", "incremental"):
+        _validate_mode(record[mode], f"{where}.{mode}")
+    speedup = record["incremental_speedup_vs_batched"]
+    _require(
+        isinstance(speedup, (int, float)) and speedup > 0,
+        where,
+        "incremental_speedup_vs_batched must be a positive number",
+    )
+
+
+def load_history(path: Path | str) -> list[dict]:
+    """Load and validate the artifact's run history.
+
+    A missing artifact or a snapshot-only artifact (no ``history`` key —
+    written before trajectories existed) yields an empty list; anything
+    present must parse as JSON and every record must pass
+    :func:`validate_history_record`.  Corruption raises rather than
+    silently dropping the trajectory.
+
+    Raises:
+        BenchHistoryError: When the artifact is unreadable, not JSON, or
+            any history record violates the schema.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        existing = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        raise BenchHistoryError(
+            f"{path.name}: cannot read artifact ({exc})"
+        ) from exc
+    if not isinstance(existing, dict):
+        raise BenchHistoryError(f"{path.name}: artifact must be an object")
+    history = existing.get("history", [])
+    if not isinstance(history, list):
+        raise BenchHistoryError(f"{path.name}: history must be a list")
+    for i, record in enumerate(history):
+        validate_history_record(record, index=i)
+    return history

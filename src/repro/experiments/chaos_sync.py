@@ -38,6 +38,7 @@ from ..controlplane import (
     spread_offsets,
 )
 from ..controlplane.controller import EndpointConfig
+from ..obs import get_registry, get_tracer
 
 __all__ = ["ChaosSyncRow", "ChaosSimResult", "simulate", "run"]
 
@@ -342,6 +343,24 @@ def simulate(
         resharded_keys=resharded,
         invariant_violations=len(violations),
     )
+    registry = get_registry()
+    if registry.enabled:
+        labels = {"intensity": f"{intensity:g}"}
+        registry.gauge(
+            "megate_chaos_availability",
+            "Fraction of agent samples within the staleness SLO",
+            labelnames=("intensity",),
+        ).labels(**labels).set(row.availability)
+        registry.gauge(
+            "megate_chaos_poll_success_rate",
+            "Polls that reached the database over polls attempted",
+            labelnames=("intensity",),
+        ).labels(**labels).set(row.poll_success_rate)
+        registry.gauge(
+            "megate_chaos_p99_staleness_seconds",
+            "99th-percentile sampled config staleness",
+            labelnames=("intensity",),
+        ).labels(**labels).set(row.p99_staleness_s)
     return ChaosSimResult(
         row=row,
         agents=agents,
@@ -361,14 +380,18 @@ def run(
     **kwargs,
 ) -> list[ChaosSyncRow]:
     """Sweep fault intensity; one :class:`ChaosSyncRow` per point."""
-    return [
-        simulate(
-            intensity,
-            seed=seed,
-            num_agents=num_agents,
-            num_shards=num_shards,
-            horizon_s=horizon_s,
-            **kwargs,
-        ).row
-        for intensity in intensities
-    ]
+    tracer = get_tracer()
+    rows = []
+    for intensity in intensities:
+        with tracer.span("chaos.simulate", intensity=intensity):
+            rows.append(
+                simulate(
+                    intensity,
+                    seed=seed,
+                    num_agents=num_agents,
+                    num_shards=num_shards,
+                    horizon_s=horizon_s,
+                    **kwargs,
+                ).row
+            )
+    return rows

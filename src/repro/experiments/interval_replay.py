@@ -30,7 +30,8 @@ import hashlib
 from dataclasses import dataclass, field
 
 from ..core import MegaTEOptimizer
-from ..core.twostage import PHASE_KEYS
+from ..core.types import PHASE_KEYS, StatKey
+from ..obs import get_tracer
 from ..traffic import DiurnalSequence
 from .common import build_scenario
 
@@ -150,23 +151,31 @@ def replay_intervals(
         num_intervals=num_intervals,
         num_flows=sequence.base.num_endpoint_pairs,
     )
+    tracer = get_tracer()
     for interval in range(num_intervals):
-        result = optimizer.solve(topology, sequence.matrix(interval))
+        with tracer.span("te.interval", interval=interval):
+            result = optimizer.solve(topology, sequence.matrix(interval))
         stats = result.stats
-        report.stage1_lp_s += stats["stage1_lp_s"]
-        report.stage2_ssp_s += stats["stage2_ssp_s"]
+        report.stage1_lp_s += stats[StatKey.STAGE1_LP_S]
+        report.stage2_ssp_s += stats[StatKey.STAGE2_SSP_S]
         report.total_runtime_s += result.runtime_s
-        for key, seconds in stats["phase_s"].items():
+        for key, seconds in stats[StatKey.PHASE_S].items():
             report.phase_s[key] = report.phase_s.get(key, 0.0) + seconds
         report.satisfied_volume += result.satisfied_volume
-        report.num_uncontended_pairs += stats["num_uncontended_pairs"]
-        report.num_contended_pairs += stats["num_contended_pairs"]
-        report.backend = stats.get("backend", report.backend)
-        report.lp_solves += stats.get("lp_solves", 0)
-        report.lp_solves_skipped += stats.get("lp_solves_skipped", 0)
-        report.lp_warm_starts += stats.get("lp_warm_start", 0)
-        report.pairs_delta_patched += stats.get("pairs_delta_patched", 0)
-        report.ssp_state_reused += stats.get("ssp_state_reused", 0)
+        report.num_uncontended_pairs += stats[
+            StatKey.NUM_UNCONTENDED_PAIRS
+        ]
+        report.num_contended_pairs += stats[StatKey.NUM_CONTENDED_PAIRS]
+        report.backend = stats.get(StatKey.BACKEND, report.backend)
+        report.lp_solves += stats.get(StatKey.LP_SOLVES, 0)
+        report.lp_solves_skipped += stats.get(
+            StatKey.LP_SOLVES_SKIPPED, 0
+        )
+        report.lp_warm_starts += stats.get(StatKey.LP_WARM_START, 0)
+        report.pairs_delta_patched += stats.get(
+            StatKey.PAIRS_DELTA_PATCHED, 0
+        )
+        report.ssp_state_reused += stats.get(StatKey.SSP_STATE_REUSED, 0)
         for arr in result.assignment.per_pair:
             digest.update(arr.tobytes())
     report.assignment_digest = digest.hexdigest()

@@ -1,0 +1,155 @@
+"""Exporters: JSONL span/metric events and Prometheus text exposition.
+
+Two output formats, both derived from the live collector state:
+
+* **JSONL** — one JSON object per line; spans carry
+  ``name/span_id/parent_id/start_s/duration_s/attributes`` so a trace's
+  nesting reconstructs from ``parent_id`` alone.
+* **Prometheus text exposition** (version 0.0.4) — ``# HELP``/``# TYPE``
+  headers, ``{label="value"}`` series, and cumulative ``_bucket`` /
+  ``_sum`` / ``_count`` lines for histograms, pastable into any
+  Prometheus-compatible scraper or ``promtool check metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable
+
+from .metrics import MetricsRegistry
+from .tracing import Span
+
+__all__ = [
+    "spans_to_jsonl",
+    "summarize_spans",
+    "registry_to_prometheus",
+    "registry_to_json",
+]
+
+
+def spans_to_jsonl(spans: Iterable[Span], handle: IO[str]) -> int:
+    """Write spans as JSONL events; returns the number written."""
+    count = 0
+    for span in spans:
+        handle.write(json.dumps(span.as_dict()) + "\n")
+        count += 1
+    return count
+
+
+def summarize_spans(spans: Iterable[Span]) -> list[dict]:
+    """Aggregate spans by name: count, total/min/max duration.
+
+    Rows are sorted by total duration, descending — the profile view the
+    ``repro trace`` subcommand prints.
+    """
+    agg: dict[str, dict] = {}
+    for span in spans:
+        row = agg.get(span.name)
+        d = span.duration_s
+        if row is None:
+            agg[span.name] = {
+                "name": span.name,
+                "count": 1,
+                "total_s": d,
+                "min_s": d,
+                "max_s": d,
+            }
+        else:
+            row["count"] += 1
+            row["total_s"] += d
+            row["min_s"] = min(row["min_s"], d)
+            row["max_s"] = max(row["max_s"], d)
+    return sorted(agg.values(), key=lambda r: -r["total_s"])
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_number(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series_name(
+    name: str, labelnames, labelvalues, extra: tuple[str, str] | None = None
+) -> str:
+    pairs = [
+        f'{n}="{_escape_label_value(v)}"'
+        for n, v in zip(labelnames, labelvalues)
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    return f"{name}{{{','.join(pairs)}}}" if pairs else name
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in Prometheus text-exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.series():
+            if family.kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                    family.buckets, child.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        _series_name(
+                            f"{family.name}_bucket",
+                            family.labelnames,
+                            labelvalues,
+                            extra=("le", _format_number(bound)),
+                        )
+                        + f" {cumulative}"
+                    )
+                cumulative += child.bucket_counts[-1]
+                lines.append(
+                    _series_name(
+                        f"{family.name}_bucket",
+                        family.labelnames,
+                        labelvalues,
+                        extra=("le", "+Inf"),
+                    )
+                    + f" {cumulative}"
+                )
+                lines.append(
+                    _series_name(
+                        f"{family.name}_sum",
+                        family.labelnames,
+                        labelvalues,
+                    )
+                    + f" {_format_number(child.sum)}"
+                )
+                lines.append(
+                    _series_name(
+                        f"{family.name}_count",
+                        family.labelnames,
+                        labelvalues,
+                    )
+                    + f" {child.count}"
+                )
+            else:
+                lines.append(
+                    _series_name(
+                        family.name, family.labelnames, labelvalues
+                    )
+                    + f" {_format_number(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_json(registry: MetricsRegistry) -> dict:
+    """A JSON-serializable snapshot (alias of ``registry.snapshot()``)."""
+    return registry.snapshot()

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.flowtable import pair_views
+from ..obs import get_tracer
 
 if TYPE_CHECKING:
     from ..core.types import TEResult
@@ -127,36 +128,41 @@ def simulate(
     of FIFO drops).  A flow's delivered fraction is the minimum delivery
     ratio along its tunnel.
     """
-    arrays = topology.catalog.columnar()
-    table = result.demands.table
-    assigned = result.assignment.assigned_tunnel
-    volumes = table.volumes
+    with get_tracer().span("sim.flowsim") as sp:
+        arrays = topology.catalog.columnar()
+        table = result.demands.table
+        assigned = result.assignment.assigned_tunnel
+        volumes = table.volumes
 
-    valid, global_tunnel, per_tunnel = _realized_tunnel_volumes(
-        arrays, table, assigned
-    )
-    link_loads = arrays.link_loads(per_tunnel)
-
-    link_states = {
-        key: LinkState(
-            load=float(link_loads[i]), capacity=float(arrays.capacity[i])
+        valid, global_tunnel, per_tunnel = _realized_tunnel_volumes(
+            arrays, table, assigned
         )
-        for i, key in enumerate(arrays.link_keys)
-    }
+        link_loads = arrays.link_loads(per_tunnel)
 
-    # Per-link delivery ratio, then per-tunnel = min over its links.
-    link_ratio = np.ones(arrays.num_links, dtype=np.float64)
-    over = link_loads > arrays.capacity
-    link_ratio[over] = arrays.capacity[over] / link_loads[over]
-    tunnel_ratio = arrays.min_over_links(link_ratio)
+        link_states = {
+            key: LinkState(
+                load=float(link_loads[i]),
+                capacity=float(arrays.capacity[i]),
+            )
+            for i, key in enumerate(arrays.link_keys)
+        }
 
-    fractions = np.zeros(table.num_flows, dtype=np.float64)
-    if table.num_flows:
-        fractions[valid] = tunnel_ratio[global_tunnel[valid]]
-    # Offered intentionally counts every flow with a non-negative index,
-    # even one pointing past its pair's tunnel set (legacy semantics).
-    offered = float(volumes[assigned >= 0].sum())
-    delivered = float((volumes * fractions).sum())
+        # Per-link delivery ratio, then per-tunnel = min over its links.
+        link_ratio = np.ones(arrays.num_links, dtype=np.float64)
+        over = link_loads > arrays.capacity
+        link_ratio[over] = arrays.capacity[over] / link_loads[over]
+        tunnel_ratio = arrays.min_over_links(link_ratio)
+
+        fractions = np.zeros(table.num_flows, dtype=np.float64)
+        if table.num_flows:
+            fractions[valid] = tunnel_ratio[global_tunnel[valid]]
+        # Offered intentionally counts every flow with a non-negative
+        # index, even one pointing past its pair's tunnel set (legacy
+        # semantics).
+        offered = float(volumes[assigned >= 0].sum())
+        delivered = float((volumes * fractions).sum())
+        sp.set_attribute("num_flows", int(table.num_flows))
+        sp.set_attribute("delivered_volume", delivered)
     return SimulationOutcome(
         link_states=link_states,
         delivered_volume=delivered,

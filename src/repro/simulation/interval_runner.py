@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.qos import QoSClass
 from ..core.types import TEResult
+from ..obs import get_registry, get_tracer
 from .flowsim import simulate
 from .latency import compute_flow_latencies
 
@@ -113,37 +114,40 @@ def run_intervals(
     if callable(reset):
         reset()
     previous: "DemandMatrix | None" = None
+    tracer = get_tracer()
     for n, actual in enumerate(matrices):
-        if predictor is not None:
-            try:
-                solve_on = predictor.predict()
-            except RuntimeError:
+        with tracer.span("sim.interval", interval=n) as sp:
+            if predictor is not None:
+                try:
+                    solve_on = predictor.predict()
+                except RuntimeError:
+                    solve_on = actual
+            elif stale_inputs and previous is not None:
+                solve_on = previous
+            else:
                 solve_on = actual
-        elif stale_inputs and previous is not None:
-            solve_on = previous
-        else:
-            solve_on = actual
-        result = solver.solve(topology, solve_on)
-        for k, pair in enumerate(actual):
-            if result.assignment.per_pair[k].size != pair.num_pairs:
-                raise ValueError(
-                    "interval matrices must keep flow identities "
-                    f"(site pair {k} changed size)"
-                )
-        realized = TEResult(
-            scheme=result.scheme,
-            assignment=result.assignment,
-            demands=actual,
-            satisfied_volume=result.satisfied_volume,
-            runtime_s=result.runtime_s,
-            site_allocation=result.site_allocation,
-            stats=result.stats,
-        )
-        outcome = simulate(topology, realized)
-        latencies = compute_flow_latencies(topology, realized, metric="ms")
-        total = actual.total_demand
-        series.records.append(
-            IntervalRecord(
+            result = solver.solve(topology, solve_on)
+            for k, pair in enumerate(actual):
+                if result.assignment.per_pair[k].size != pair.num_pairs:
+                    raise ValueError(
+                        "interval matrices must keep flow identities "
+                        f"(site pair {k} changed size)"
+                    )
+            realized = TEResult(
+                scheme=result.scheme,
+                assignment=result.assignment,
+                demands=actual,
+                satisfied_volume=result.satisfied_volume,
+                runtime_s=result.runtime_s,
+                site_allocation=result.site_allocation,
+                stats=result.stats,
+            )
+            outcome = simulate(topology, realized)
+            latencies = compute_flow_latencies(
+                topology, realized, metric="ms"
+            )
+            total = actual.total_demand
+            record = IntervalRecord(
                 interval=n,
                 planned_satisfied=result.satisfied_fraction,
                 delivered_fraction=(
@@ -155,8 +159,25 @@ def run_intervals(
                 max_utilization=outcome.max_utilization,
                 runtime_s=result.runtime_s,
             )
-        )
-        if predictor is not None:
-            predictor.observe(actual)
-        previous = actual
+            series.records.append(record)
+            sp.set_attribute(
+                "delivered_fraction", record.delivered_fraction
+            )
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "megate_sim_intervals_total",
+                    "Simulated TE intervals completed",
+                ).inc()
+                registry.gauge(
+                    "megate_sim_delivered_fraction",
+                    "Delivered traffic fraction of the latest interval",
+                ).set(record.delivered_fraction)
+                registry.gauge(
+                    "megate_sim_max_utilization",
+                    "Highest link utilization in the latest interval",
+                ).set(record.max_utilization)
+            if predictor is not None:
+                predictor.observe(actual)
+            previous = actual
     return series

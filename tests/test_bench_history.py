@@ -1,0 +1,159 @@
+"""Schema validation of the interval-solve benchmark history."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.bench_history import (
+    BenchHistoryError,
+    load_history,
+    validate_history_record,
+)
+
+DIGEST = "0" * 64
+
+
+def _mode_summary() -> dict:
+    return {
+        "stage1_lp_s": 0.5,
+        "stage2_ssp_s": 0.2,
+        "num_intervals": 10,
+        "assignment_digest": DIGEST,
+        "backend": "scipy",
+    }
+
+
+def _valid_record() -> dict:
+    return {
+        "timestamp": "2026-08-06T00:00:00Z",
+        "git_sha": "abcdef123456",
+        "backend": "scipy",
+        "config": {
+            "topology_name": "twan",
+            "total_endpoints": 20_000,
+            "num_site_pairs": 60,
+            "num_intervals": 10,
+            "seed": 42,
+        },
+        "realization_s": {"flowsim": 0.01, "latency": 0.02},
+        "batched": _mode_summary(),
+        "serial": _mode_summary(),
+        "incremental": _mode_summary(),
+        "incremental_speedup_vs_batched": 1.8,
+    }
+
+
+def test_valid_record_passes():
+    validate_history_record(_valid_record())
+
+
+def test_extra_keys_are_ignored():
+    record = _valid_record()
+    record["highspy"] = None
+    record["batched"]["new_field"] = 123
+    validate_history_record(record)
+
+
+@pytest.mark.parametrize("key", [
+    "timestamp", "git_sha", "backend", "config", "realization_s",
+    "batched", "serial", "incremental", "incremental_speedup_vs_batched",
+])
+def test_missing_required_key_raises(key):
+    record = _valid_record()
+    del record[key]
+    with pytest.raises(BenchHistoryError, match=key):
+        validate_history_record(record)
+
+
+def test_bad_digest_raises():
+    record = _valid_record()
+    record["serial"]["assignment_digest"] = "deadbeef"
+    with pytest.raises(BenchHistoryError, match="assignment_digest"):
+        validate_history_record(record)
+
+
+def test_negative_timing_raises():
+    record = _valid_record()
+    record["batched"]["stage1_lp_s"] = -0.1
+    with pytest.raises(BenchHistoryError, match="stage1_lp_s"):
+        validate_history_record(record)
+
+
+def test_negative_realization_raises():
+    record = _valid_record()
+    record["realization_s"]["flowsim"] = -1.0
+    with pytest.raises(BenchHistoryError, match="flowsim"):
+        validate_history_record(record)
+
+
+def test_missing_config_key_raises():
+    record = _valid_record()
+    del record["config"]["seed"]
+    with pytest.raises(BenchHistoryError, match="seed"):
+        validate_history_record(record)
+
+
+def test_nonpositive_speedup_raises():
+    record = _valid_record()
+    record["incremental_speedup_vs_batched"] = 0.0
+    with pytest.raises(BenchHistoryError, match="speedup"):
+        validate_history_record(record)
+
+
+def test_index_named_in_error():
+    with pytest.raises(BenchHistoryError, match=r"history\[3\]"):
+        validate_history_record({}, index=3)
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert load_history(tmp_path / "absent.json") == []
+
+
+def test_load_snapshot_only_artifact_is_empty(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"config": {}, "batched": {}}))
+    assert load_history(path) == []
+
+
+def test_load_valid_history(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"history": [_valid_record()]}))
+    history = load_history(path)
+    assert len(history) == 1
+    assert history[0]["backend"] == "scipy"
+
+
+def test_load_corrupt_json_raises(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchHistoryError, match="cannot read"):
+        load_history(path)
+
+
+def test_load_non_object_artifact_raises(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(BenchHistoryError, match="object"):
+        load_history(path)
+
+
+def test_load_invalid_record_raises(tmp_path):
+    record = _valid_record()
+    del record["git_sha"]
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps({"history": [record]}))
+    with pytest.raises(BenchHistoryError, match=r"history\[0\]"):
+        load_history(path)
+
+
+def test_repo_artifact_validates():
+    """The checked-in artifact must always pass its own schema."""
+    from pathlib import Path
+
+    artifact = Path(__file__).resolve().parent.parent / (
+        "BENCH_interval_solve.json"
+    )
+    history = load_history(artifact)
+    assert isinstance(history, list)

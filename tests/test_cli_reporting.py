@@ -205,6 +205,112 @@ class TestSolveCommand:
         assert "TEAL" in capsys.readouterr().out
 
 
+class TestObservabilityCLI:
+    """The ``metrics``/``trace`` subcommands and the shared output flags."""
+
+    TINY = ["--endpoints", "600", "--pairs", "6", "--intervals", "2",
+            "--seed", "5"]
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro import obs
+
+        yield
+        obs.set_enabled(False)
+        obs.reset()
+
+    def test_metrics_prometheus_text(self, capsys):
+        assert main(["metrics", *self.TINY]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE megate_solves_total counter" in out
+        assert "megate_solve_seconds_bucket" in out
+        assert "megate_satisfied_fraction" in out
+
+    def test_metrics_json_to_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["metrics", *self.TINY, "--json", "--out", str(path)]
+        ) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["megate_solves_total"]["kind"] == "counter"
+
+    def test_trace_profile_table(self, capsys):
+        assert main(["trace", *self.TINY]) == 0
+        out = capsys.readouterr().out
+        assert "Span profile" in out
+        assert "te.solve" in out
+        assert "te.phase." in out
+
+    def test_trace_jsonl_out(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", *self.TINY, "--out", str(path)]) == 0
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert events
+        by_id = {e["span_id"]: e for e in events}
+        # Every solver-phase span nests (transitively) under te.solve.
+        phases = [
+            e for e in events if e["name"].startswith("te.phase.")
+        ]
+        assert phases
+        for event in phases:
+            node = event
+            while node["parent_id"] is not None:
+                node = by_id[node["parent_id"]]
+                if node["name"] == "te.solve":
+                    break
+            assert node["name"] == "te.solve"
+
+    def test_replay_json_out(self, tmp_path):
+        import json
+
+        path = tmp_path / "replay.json"
+        assert main([
+            "replay", *self.TINY, "--json", "--out", str(path),
+        ]) == 0
+        outcome = json.loads(path.read_text())
+        assert outcome["digest_match"] is True
+        assert "cold" in outcome and "incremental" in outcome
+
+    def test_replay_trace_and_metrics_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main([
+            "replay", *self.TINY,
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        assert trace_path.read_text().count("\n") > 0
+        assert "megate_solves_total" in metrics_path.read_text()
+
+    def test_chaos_json_out(self, tmp_path):
+        import json
+
+        path = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--intensities", "0.5", "--agents", "5",
+            "--shards", "2", "--horizon", "30", "--seed", "1",
+            "--json", "--out", str(path),
+        ]) == 0
+        rows = json.loads(path.read_text())
+        assert len(rows) == 1
+        assert rows[0]["intensity"] == 0.5
+
+    def test_reporting_flags_uniform(self):
+        """Every reporting subcommand exposes --seed, --json and --out."""
+        parser = build_parser()
+        for command in ("replay", "chaos", "metrics", "trace"):
+            args = parser.parse_args([command])
+            for flag in ("seed", "json", "out"):
+                assert hasattr(args, flag), (command, flag)
+
+
 class TestVerifyScorecard:
     def test_fast_checks_pass(self):
         from repro.experiments.summary import (

@@ -1,0 +1,106 @@
+"""Edge cases of the §7 aggregate metrics (availability / cost).
+
+The headline behaviours are covered by the figure-16/17 experiment
+tests; these pin the boundary semantics: an empty interval, a result
+that rejects every flow, and QoS filters that select no traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import MegaTEOptimizer, QoSClass
+from repro.core.types import FlowAssignment, TEResult
+from repro.simulation.metrics import (
+    cost_per_gbps,
+    traffic_cost,
+    weighted_availability,
+)
+from repro.traffic import DemandMatrix
+
+from conftest import make_pair_demands
+
+
+def _rejecting_result(demands: DemandMatrix) -> TEResult:
+    return TEResult(
+        scheme="test",
+        assignment=FlowAssignment.rejecting_all(demands),
+        demands=demands,
+        satisfied_volume=0.0,
+        runtime_s=0.0,
+    )
+
+
+def test_empty_interval_is_nan_availability(tiny_topology):
+    """No flows at all: no demand to weight, so the metric is undefined."""
+    demands = DemandMatrix([make_pair_demands([])])
+    result = _rejecting_result(demands)
+    assert math.isnan(weighted_availability(tiny_topology, result))
+    assert math.isnan(cost_per_gbps(tiny_topology, result))
+    assert traffic_cost(tiny_topology, result) == 0.0
+
+
+def test_all_unassigned_flows_score_zero_availability(tiny_topology):
+    """Rejected flows are down: positive demand, zero availability."""
+    demands = DemandMatrix([make_pair_demands([4.0, 3.0, 2.0])])
+    result = _rejecting_result(demands)
+    assert weighted_availability(tiny_topology, result) == 0.0
+    # Nothing was carried, so there is no cost — and the per-Gbps cost
+    # averages over *offered* volume, all of it carried at zero cost.
+    assert traffic_cost(tiny_topology, result) == 0.0
+    assert cost_per_gbps(tiny_topology, result) == 0.0
+
+
+def test_single_qos_class_other_classes_undefined(tiny_topology):
+    """A matrix carrying only class 2: class-1/3 filters select nothing."""
+    demands = DemandMatrix(
+        [make_pair_demands([5.0, 4.0], qos=[2, 2])]
+    )
+    result = MegaTEOptimizer().solve(tiny_topology, demands)
+    present = weighted_availability(
+        tiny_topology, result, qos=QoSClass.CLASS2
+    )
+    assert 0.0 < present <= 1.0
+    for absent in (QoSClass.CLASS1, QoSClass.CLASS3):
+        assert math.isnan(
+            weighted_availability(tiny_topology, result, qos=absent)
+        )
+        assert math.isnan(
+            cost_per_gbps(tiny_topology, result, qos=absent)
+        )
+        assert traffic_cost(tiny_topology, result, qos=absent) == 0.0
+
+
+def test_qos_filter_matches_unfiltered_on_single_class(tiny_topology):
+    """With one class present, the filtered and global metrics agree."""
+    demands = DemandMatrix(
+        [make_pair_demands([5.0, 4.0, 1.0], qos=[2, 2, 2])]
+    )
+    result = MegaTEOptimizer().solve(tiny_topology, demands)
+    assert weighted_availability(
+        tiny_topology, result, qos=QoSClass.CLASS2
+    ) == pytest.approx(weighted_availability(tiny_topology, result))
+    assert traffic_cost(
+        tiny_topology, result, qos=QoSClass.CLASS2
+    ) == pytest.approx(traffic_cost(tiny_topology, result))
+
+
+def test_out_of_range_tunnel_contributes_volume_not_metric(tiny_topology):
+    """An assignment index past the pair's tunnel set carries no metric."""
+    demands = DemandMatrix([make_pair_demands([2.0, 2.0])])
+    assignment = FlowAssignment(
+        [np.array([0, 99], dtype=np.int32)]
+    )
+    result = TEResult(
+        scheme="test",
+        assignment=assignment,
+        demands=demands,
+        satisfied_volume=2.0,
+        runtime_s=0.0,
+    )
+    availability = weighted_availability(tiny_topology, result)
+    # Flow 0 rides a real tunnel; flow 1's bogus index counts as down.
+    assert 0.0 < availability < 1.0
