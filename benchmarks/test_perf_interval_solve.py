@@ -172,6 +172,12 @@ def test_interval_solve_breakdown(benchmark):
     # allocations, bit for bit, across the whole replay.
     assert batched.assignment_digest == serial.assignment_digest
 
+    # Process-sharded second stage: same contract.  At this load the
+    # contended residue is small, so most intervals stay under the
+    # shard cutoff — the digest must match either way.
+    sharded = run_interval_replay(shard_workers=2, **REPLAY_CONFIG)
+    assert sharded.assignment_digest == batched.assignment_digest
+
     # Incremental engine, threshold 0.0: reuse restricted to bit-identical
     # inputs, so the whole replay must reproduce the cold digest exactly.
     inc_exact = run_interval_replay(
@@ -262,6 +268,7 @@ def test_interval_solve_breakdown(benchmark):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_sha": _git_sha(),
         "backend": batched.backend,
+        "config_name": "twan-20k",
         "config": {
             **REPLAY_CONFIG,
             "incremental_threshold": INCREMENTAL_THRESHOLD,
@@ -270,6 +277,7 @@ def test_interval_solve_breakdown(benchmark):
         "serial": serial.as_dict(),
         "incremental": incremental.as_dict(),
         "incremental_exact": inc_exact.as_dict(),
+        "sharded": sharded.as_dict(),
         "highspy": None if highspy is None else highspy.as_dict(),
         "incremental_speedup_vs_batched": solver_s / inc_solver_s,
         "realization_s": realization,

@@ -364,31 +364,20 @@ def _cmd_replay(args) -> None:
     if instrument:
         obs.set_enabled(True)
         obs.reset()
+    if args.shard_workers is not None:
+        _cmd_replay_sharded(args)
+        return
     outcome = run_cold_vs_incremental(
         topology_name=args.topology,
         total_endpoints=args.endpoints,
         num_site_pairs=args.pairs,
         num_intervals=args.intervals,
+        target_load=args.load,
         seed=args.seed,
         delta_threshold=args.delta_threshold,
         lp_backend=args.lp_backend,
     )
-    if args.trace_out:
-        with open(args.trace_out, "w", encoding="utf-8") as handle:
-            written = obs.get_tracer().to_jsonl(handle)
-        print(f"wrote {written} spans to {args.trace_out}")
-    if args.metrics_out:
-        registry = obs.get_registry()
-        if args.metrics_out.endswith(".json"):
-            text = (
-                json.dumps(obs.registry_to_json(registry), indent=2)
-                + "\n"
-            )
-        else:
-            text = obs.registry_to_prometheus(registry)
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        print(f"wrote metrics to {args.metrics_out}")
+    _write_replay_telemetry(args)
     if args.json:
         _emit(json.dumps(outcome, indent=2) + "\n", args.out)
         return
@@ -416,6 +405,81 @@ def _cmd_replay(args) -> None:
         f"digests {'match' if outcome['digest_match'] else 'differ'}",
     ]
     _emit("\n".join(lines) + "\n", args.out)
+
+
+def _write_replay_telemetry(args) -> None:
+    """Dump the trace/metrics files an instrumented replay asked for."""
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            written = obs.get_tracer().to_jsonl(handle)
+        print(f"wrote {written} spans to {args.trace_out}")
+    if args.metrics_out:
+        registry = obs.get_registry()
+        if args.metrics_out.endswith(".json"):
+            text = (
+                json.dumps(obs.registry_to_json(registry), indent=2)
+                + "\n"
+            )
+        else:
+            text = obs.registry_to_prometheus(registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics to {args.metrics_out}")
+
+
+def _cmd_replay_sharded(args) -> None:
+    """``repro replay --shard-workers N``: sharded vs in-process replay.
+
+    With ``--metrics-out`` the dump includes the worker-side
+    ``megate_shard_*`` families folded back from the shard processes —
+    the merged worker metrics artifact the CI leg uploads.
+    """
+    from .experiments.interval_replay import run_sharded_replay
+
+    spec = args.shard_workers
+    outcome = run_sharded_replay(
+        topology_name=args.topology,
+        total_endpoints=args.endpoints,
+        num_site_pairs=args.pairs,
+        num_intervals=args.intervals,
+        target_load=args.load,
+        seed=args.seed,
+        shard_workers=spec if spec == "auto" else int(spec),
+        lp_backend=args.lp_backend,
+    )
+    _write_replay_telemetry(args)
+    if args.json:
+        _emit(json.dumps(outcome, indent=2) + "\n", args.out)
+        return
+    serial, sharded = outcome["serial"], outcome["sharded"]
+    lines = [
+        f"Interval replay, in-process vs sharded "
+        f"({args.topology}, {serial['num_flows']} flows, "
+        f"{args.intervals} intervals, "
+        f"{sharded['shard_workers']} shard workers, "
+        f"backend {sharded['backend']}):",
+        render_table(
+            ["mode", "stage1_lp_s", "stage2_ssp_s", "contended",
+             "sharded_pairs", "satisfied"],
+            [
+                ("in-process", serial["stage1_lp_s"],
+                 serial["stage2_ssp_s"],
+                 serial["num_contended_pairs"], 0,
+                 serial["satisfied_volume"]),
+                ("sharded", sharded["stage1_lp_s"],
+                 sharded["stage2_ssp_s"],
+                 sharded["num_contended_pairs"],
+                 sharded["num_sharded_pairs"],
+                 sharded["satisfied_volume"]),
+            ],
+        ),
+        "",
+        f"solver speedup {outcome['solver_speedup']:.2f}x, "
+        f"digests {'match' if outcome['digest_match'] else 'DIFFER'}",
+    ]
+    _emit("\n".join(lines) + "\n", args.out)
+    if not outcome["digest_match"]:
+        raise SystemExit("sharded digest diverged from the serial path")
 
 
 def _cmd_chaos(args) -> None:
@@ -608,6 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--intervals", type=int, default=10)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument(
+        "--load", type=float, default=1.0,
+        help="target offered load (fraction of bisection capacity); "
+             ">1 overloads the network so the second stage contends",
+    )
+    p.add_argument(
         "--delta-threshold", type=float, default=1.5,
         help="per-pair relative demand-change bound for the LP delta "
              "fast path (0 = bit-exact reuse only)",
@@ -618,6 +687,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="LP backend (default: REPRO_LP_BACKEND env or scipy; "
              "highspy degrades to scipy when not installed)",
+    )
+    p.add_argument(
+        "--shard-workers", default=None, metavar="N",
+        help="compare the in-process replay against the process-"
+             "parallel sharded second stage with N worker processes "
+             "(or 'auto'); exits non-zero if their digests diverge",
     )
     p.add_argument(
         "--trace-out", default=None, metavar="FILE",

@@ -16,8 +16,15 @@ from .lp_backend import (
     highspy_available,
     resolve_backend_name,
 )
-from .parallel import parallel_map, resolve_workers
+from .pairfill import fill_pair, fill_pair_warm_or_cold
+from .parallel import WORKERS_ENV, parallel_map, resolve_workers
 from .qos import PRIORITY_ORDER, QoSClass
+from .sharded import (
+    SHARD_WORKERS_ENV,
+    ShardContext,
+    ShardedConfig,
+    plan_shards,
+)
 from .siteflow import SiteFlowSolver, solve_max_site_flow
 from .ssp import (
     SSPSolution,
@@ -68,6 +75,13 @@ __all__ = [
     "pair_views",
     "SiteFlowSolver",
     "resolve_workers",
+    "WORKERS_ENV",
+    "fill_pair",
+    "fill_pair_warm_or_cold",
+    "SHARD_WORKERS_ENV",
+    "ShardContext",
+    "ShardedConfig",
+    "plan_shards",
     "IncrementalConfig",
     "IncrementalState",
     "BACKEND_ENV_VAR",

@@ -1,0 +1,91 @@
+"""The per-site-pair MaxEndpointFlow fill, shared by every dispatch path.
+
+One contended site pair's second-stage solve — walk the tunnels in fill
+order, pack endpoint flows into each tunnel's allocation via FastSSP,
+then reconcile leftovers — used to live as a private optimizer method.
+It is now a module-level function so the serial path, the thread-pool
+path, and the shared-memory shard workers (:mod:`repro.core.sharded`,
+which runs it in *other processes*) all execute byte-for-byte the same
+code; the sharded path's bit-identity contract rests on that.
+
+:func:`fill_pair_warm_or_cold` composes the cold fill with the carried
+cross-interval warm start (:func:`repro.core.incremental.warm_fill_pair`)
+behind one call, so the worker-side incremental fast path cannot drift
+from the in-process one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fastssp import fast_ssp
+from .incremental import reconcile_leftovers, warm_fill_pair
+from .types import UNASSIGNED
+
+__all__ = ["fill_pair", "fill_pair_warm_or_cold"]
+
+
+def fill_pair(
+    volumes: np.ndarray,
+    alloc_k: np.ndarray,
+    fill_order: np.ndarray,
+    epsilon: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """MaxEndpointFlow for one site pair and class.
+
+    Tunnels are processed in ascending order of the class's preferred
+    attribute — latency for classes 1-2, cost for class 3 — so the most
+    preferred tunnel's allocation is filled first (App. A.2's sequential
+    dependency) and each subsequent tunnel chooses among the still
+    unassigned flows.
+
+    Returns:
+        ``(assigned, placed_per_tunnel)``: int32 tunnel index per flow
+        (:data:`UNASSIGNED` = rejected) and float64 volume placed per
+        tunnel of the pair.
+    """
+    assigned = np.full(volumes.size, UNASSIGNED, dtype=np.int32)
+    placed = np.zeros(alloc_k.size, dtype=np.float64)
+    if volumes.size == 0 or alloc_k.size == 0:
+        return assigned, placed
+    for t_index in fill_order:
+        capacity = alloc_k[t_index]
+        if capacity <= 0:
+            continue
+        free = np.flatnonzero(assigned == UNASSIGNED)
+        if free.size == 0:
+            break
+        result = fast_ssp(volumes[free], capacity, epsilon=epsilon)
+        chosen = free[np.asarray(result.selected, dtype=np.int64)]
+        assigned[chosen] = t_index
+        placed[t_index] = result.total
+    # Reconciliation pass: FastSSP may leave slack on several tunnels
+    # that no single remaining flow fit at the time; retry the largest
+    # leftover flows against each tunnel's remaining allocation.
+    leftovers = alloc_k - placed
+    reconcile_leftovers(volumes, assigned, placed, leftovers, fill_order)
+    return assigned, placed
+
+
+def fill_pair_warm_or_cold(
+    volumes: np.ndarray,
+    alloc_k: np.ndarray,
+    fill_order: np.ndarray,
+    epsilon: float,
+    prev_assigned: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Warm-start one pair from its previous assignment, else solve cold.
+
+    Returns:
+        ``(assigned, placed_per_tunnel, warm)`` where ``warm`` records
+        whether the carried assignment was good enough to skip FastSSP
+        (the :func:`warm_fill_pair` precision gate).
+    """
+    if prev_assigned is not None:
+        warm = warm_fill_pair(
+            volumes, alloc_k, fill_order, prev_assigned, epsilon
+        )
+        if warm is not None:
+            return warm[0], warm[1], True
+    assigned, placed = fill_pair(volumes, alloc_k, fill_order, epsilon)
+    return assigned, placed, False

@@ -19,24 +19,77 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "resolve_workers"]
+__all__ = ["parallel_map", "resolve_workers", "WORKERS_ENV"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
-def resolve_workers(workers: int | str | None) -> int | None:
-    """Normalize a worker spec: ``"auto"`` becomes ``os.cpu_count()``.
+#: Environment variable consulted when a worker spec is left unset.
+WORKERS_ENV = "REPRO_WORKERS"
 
-    ``None``/0/1 mean serial and are passed through unchanged.
+
+def resolve_workers(
+    workers: int | str | None, env: str | None = WORKERS_ENV
+) -> int | None:
+    """Normalize a worker spec to ``None`` (serial) or an int ``>= 2``.
+
+    Accepted specs: ``None`` (consult the ``env`` variable, default
+    serial), ``"auto"`` (``os.cpu_count()``), a non-negative int (``0``
+    and ``1`` both mean serial and normalize to ``None``), or a string
+    of digits.  Negative counts and any other string raise
+    ``ValueError`` — historically ``-1`` slipped through as "serial"
+    because callers only checked ``<= 1``, while ``0`` and ``1``
+    resolved to *different* values meaning the same thing; both
+    inconsistencies are now rejected/canonicalized here.
+
+    Args:
+        workers: The spec to normalize.
+        env: Environment variable consulted when ``workers`` is
+            ``None`` (same grammar, including ``"auto"``); pass
+            ``None`` to disable the env default.
+
+    Returns:
+        ``None`` for serial execution, else a worker count ``>= 2``.
     """
-    if workers == "auto":
-        return os.cpu_count() or 1
+    if workers is None:
+        if env is None:
+            return None
+        spec = os.environ.get(env, "").strip()
+        if not spec:
+            return None
+        # Re-resolve the env value through the same grammar, but never
+        # recurse into the environment again.
+        try:
+            return resolve_workers(spec, env=None)
+        except ValueError as exc:
+            raise ValueError(f"{env}: {exc}") from exc
     if isinstance(workers, str):
+        if workers == "auto":
+            count = os.cpu_count() or 1
+        elif workers.isdigit():
+            count = int(workers)
+        else:
+            raise ValueError(
+                "workers must be an int >= 0, None or 'auto', "
+                f"got {workers!r}"
+            )
+    elif isinstance(workers, bool):
         raise ValueError(
-            f"workers must be an int, None or 'auto', got {workers!r}"
+            f"workers must be an int >= 0, None or 'auto', got {workers!r}"
         )
-    return workers
+    elif isinstance(workers, int):
+        if workers < 0:
+            raise ValueError(
+                f"workers must be >= 0, got {workers}"
+            )
+        count = workers
+    else:
+        raise ValueError(
+            "workers must be an int >= 0, None or 'auto', "
+            f"got {workers!r}"
+        )
+    return count if count >= 2 else None
 
 
 def parallel_map(
@@ -60,7 +113,7 @@ def parallel_map(
         Results in input order.
     """
     workers = resolve_workers(workers)
-    if workers is None or workers <= 1 or len(items) < 2:
+    if workers is None or len(items) < 2:
         return [fn(item) for item in items]
     if chunk_size is None:
         chunk_size = max(1, -(-len(items) // (workers * 4)))

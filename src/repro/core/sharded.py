@@ -1,0 +1,641 @@
+"""Process-parallel second stage over shared-memory CSR columns.
+
+The paper solves the per-site-pair MaxEndpointFlow problems in parallel
+(§4.2: "the MaxEndpointFlow problem with different site pairs can be
+solved in parallel") on a 24-thread Xeon; at the million-endpoint scale
+of Table 2 the contended residue of stage 2 is the last serial Python
+loop in the interval hot path.  This module shards that residue across
+*worker processes* without pickling any per-flow data:
+
+* The interval's CSR columns — the demand table's ``offsets`` /
+  ``volumes`` / ``qos``, the catalog's ``tunnel_offsets`` and per
+  attribute fill-order permutations, the per-class ``F_{k,t}``
+  allocation, and the write-back columns (``assigned`` int32 per flow,
+  ``placed`` float64 per tunnel) — live in one
+  :mod:`multiprocessing.shared_memory` segment (:class:`SharedArena`).
+* Workers attach once at pool start; a task message is just
+  ``(qos, attribute, epsilon, pair-index range)`` — zero-copy slices
+  replace the chunked ``parallel_map`` hand-off of per-pair arrays.
+* Each worker reconstructs a pair's class segment exactly the way the
+  in-process path does and runs the *same*
+  :func:`repro.core.pairfill.fill_pair_warm_or_cold` code, so the
+  sharded assignment is bit-identical to the serial one (digest-pinned
+  and property-tested).
+* Workers run their own :mod:`repro.obs` registry; every task returns a
+  metrics snapshot that the parent folds back with
+  ``MetricsRegistry.merge`` — per-shard phase timings survive into the
+  bench history.
+
+Lifecycle: segments are created by the parent (sized to the current
+topology + flow population), revalidated each solve, and unlinked on
+every exit path — explicit ``close()``, optimizer teardown, garbage
+collection (``weakref.finalize``), interpreter exit (``atexit``), and
+worker crashes (the parent owns the segment; a ``BrokenProcessPool``
+degrades the solve to the in-process path and tears the context down).
+A crashed *parent* is covered by the stdlib resource tracker, which
+unlinks segments the creating process registered.
+
+Selection follows the LP-backend pattern: an explicit ``shard_workers``
+argument beats the ``REPRO_SHARD_WORKERS`` environment variable, which
+beats the serial default (:meth:`ShardedConfig.resolve`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import uuid
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..obs import get_registry, get_tracer, monotonic
+from .parallel import resolve_workers
+
+__all__ = [
+    "SHARD_WORKERS_ENV",
+    "SEGMENT_PREFIX",
+    "ShardedConfig",
+    "ShardOutcome",
+    "SharedArena",
+    "ShardContext",
+    "plan_shards",
+    "live_segment_names",
+]
+
+#: Environment variable consulted when no explicit worker spec is given.
+SHARD_WORKERS_ENV = "REPRO_SHARD_WORKERS"
+
+#: Prefix of every shared-memory segment this module creates; the leak
+#: check scans ``/dev/shm`` for it.
+SEGMENT_PREFIX = "repro-shard"
+
+#: Alignment (bytes) of each column within an arena segment.
+_ALIGN = 64
+
+#: Valid shard-boundary strategies.
+_STRATEGIES = ("contiguous", "balanced")
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """Knobs of the process-parallel sharded second stage.
+
+    Attributes:
+        workers: Worker-process count (>= 2; a resolved value, not a
+            spec — use :meth:`resolve` to normalize ``"auto"``/env).
+        strategy: How contiguous shard boundaries are chosen:
+            ``"contiguous"`` splits the contended pair list into
+            equal-count ranges, ``"balanced"`` places the boundaries so
+            each range carries roughly equal *flow* count (better when
+            the Weibull tail concentrates flows in a few pairs).  Both
+            keep each shard a contiguous site-pair range.
+        min_pairs_per_shard: Serial cutoff — a class whose contended
+            residue cannot give every shard at least this many pairs
+            runs in-process instead (process dispatch has a fixed cost
+            that a handful of microsecond solves never amortizes).
+    """
+
+    workers: int
+    strategy: str = "contiguous"
+    min_pairs_per_shard: int = 2
+
+    def __post_init__(self) -> None:
+        if self.workers < 2:
+            raise ValueError("workers must be >= 2 (serial is None)")
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.min_pairs_per_shard < 1:
+            raise ValueError("min_pairs_per_shard must be >= 1")
+
+    @classmethod
+    def resolve(
+        cls,
+        spec: "int | str | ShardedConfig | None",
+        strategy: str = "contiguous",
+        min_pairs_per_shard: int = 2,
+    ) -> "ShardedConfig | None":
+        """Normalize a worker spec into a config (``None`` = serial).
+
+        Selection order matches the LP-backend pattern: an explicit
+        ``spec`` wins, an unset one (``None``) consults
+        ``REPRO_SHARD_WORKERS``, and an absent/serial value means the
+        in-process path.  ``0``/``1`` are explicit "serial" — they beat
+        the environment.
+        """
+        if isinstance(spec, ShardedConfig):
+            return spec
+        workers = resolve_workers(spec, env=SHARD_WORKERS_ENV)
+        if workers is None:
+            return None
+        return cls(
+            workers=workers,
+            strategy=strategy,
+            min_pairs_per_shard=min_pairs_per_shard,
+        )
+
+
+def plan_shards(
+    ks: np.ndarray,
+    weights: np.ndarray,
+    config: ShardedConfig,
+) -> list[np.ndarray] | None:
+    """Split contended pair indices into contiguous shard ranges.
+
+    Args:
+        ks: Contended site-pair indices, ascending.
+        weights: Per-entry work estimate (class flow count of each
+            pair), aligned with ``ks``; used by the ``"balanced"``
+            strategy.
+
+    Returns:
+        One ascending index array per shard (>= 2 shards, every shard
+        non-empty and >= ``min_pairs_per_shard`` pairs), or ``None``
+        when the residue is below the serial cutoff.
+    """
+    n = int(ks.size)
+    num_shards = min(config.workers, n // config.min_pairs_per_shard)
+    if num_shards < 2:
+        return None
+    if config.strategy == "contiguous":
+        parts = np.array_split(ks, num_shards)
+    else:
+        cum = np.cumsum(np.asarray(weights, dtype=np.float64))
+        targets = cum[-1] * np.arange(1, num_shards) / num_shards
+        bounds = np.searchsorted(cum, targets, side="left") + 1
+        # Keep every shard non-empty even under degenerate weights.
+        bounds = np.maximum(bounds, np.arange(1, num_shards))
+        bounds = np.minimum(bounds, n - (num_shards - np.arange(1, num_shards)))
+        parts = np.split(ks, bounds)
+    return [p for p in parts if p.size]
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory arena
+
+#: Segments created by this process that are still linked, by name.
+#: The atexit hook unlinks whatever is left — the backstop behind
+#: explicit ``close()`` and the per-context finalizers.
+_LIVE_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+_ATEXIT_REGISTERED = False
+
+
+def live_segment_names() -> list[str]:
+    """Names of arena segments this process has created and not unlinked."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+def _unlink_segment(name: str) -> None:
+    shm = _LIVE_SEGMENTS.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - stray exported views
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def _unlink_all_segments() -> None:
+    for name in list(_LIVE_SEGMENTS):
+        _unlink_segment(name)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker registration.
+
+    Python 3.11's ``SharedMemory`` registers the segment with the
+    resource tracker even on attach (the ``track=`` opt-out arrived in
+    3.13).  Under fork the workers share the *parent's* tracker process,
+    so a worker-side ``unregister`` after attach would clobber the
+    creator's registration — the crash backstop — and double
+    registration makes the tracker warn and unlink twice.  Suppressing
+    registration during the attach keeps exactly one registration: the
+    parent's.
+    """
+    from multiprocessing import resource_tracker
+
+    orig_register = resource_tracker.register
+
+    def _skip_shm(name_, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            orig_register(name_, rtype)
+
+    resource_tracker.register = _skip_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+
+
+class SharedArena:
+    """Several named ndarrays packed into one shared-memory segment.
+
+    The parent creates the segment (``create=True``) and registers it
+    for unlink-at-exit; workers attach by name *without* registering
+    with the stdlib resource tracker (see :func:`_attach_untracked` —
+    the parent owns cleanup).
+    """
+
+    def __init__(
+        self,
+        specs: list[tuple[str, tuple[int, ...], str]],
+        name: str | None = None,
+        create: bool = True,
+    ) -> None:
+        global _ATEXIT_REGISTERED
+        self.specs = [
+            (key, tuple(int(d) for d in shape), str(dtype))
+            for key, shape, dtype in specs
+        ]
+        offsets: dict[str, int] = {}
+        pos = 0
+        for key, shape, dtype in self.specs:
+            pos = (pos + _ALIGN - 1) // _ALIGN * _ALIGN
+            offsets[key] = pos
+            pos += int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        self._offsets = offsets
+        self.size = max(pos, 1)
+        self.created = create
+        if create:
+            if name is None:
+                name = (
+                    f"{SEGMENT_PREFIX}-{os.getpid()}-"
+                    f"{uuid.uuid4().hex[:12]}"
+                )
+            self.shm = shared_memory.SharedMemory(
+                name=name, create=True, size=self.size
+            )
+            _LIVE_SEGMENTS[self.shm.name] = self.shm
+            if not _ATEXIT_REGISTERED:
+                atexit.register(_unlink_all_segments)
+                _ATEXIT_REGISTERED = True
+        else:
+            assert name is not None
+            self.shm = _attach_untracked(name)
+        self.name = self.shm.name
+        self.arrays: dict[str, np.ndarray] = {}
+        for key, shape, dtype in self.specs:
+            self.arrays[key] = np.ndarray(
+                shape,
+                dtype=np.dtype(dtype),
+                buffer=self.shm.buf,
+                offset=offsets[key],
+            )
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+    def close(self) -> None:
+        """Release the mapping; the creator also unlinks the segment."""
+        self.arrays.clear()
+        if self.created:
+            _unlink_segment(self.name)
+        else:
+            try:
+                self.shm.close()
+            except BufferError:  # pragma: no cover
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+
+#: Per-worker-process attachment state, set by the pool initializer.
+_WORKER: dict | None = None
+
+
+def _worker_init(
+    arena_name: str,
+    specs: list[tuple[str, tuple[int, ...], str]],
+    obs_enabled: bool,
+) -> None:
+    """Pool initializer: attach the arena, reset worker telemetry."""
+    global _WORKER
+    arena = SharedArena(specs, name=arena_name, create=False)
+    # The worker's registry starts empty (fork inherits the parent's
+    # series; counting them again on merge would double every metric)
+    # and records iff the parent was recording at pool start.  Spans
+    # are never collected worker-side — nothing exports them.
+    registry = get_registry()
+    registry.reset()
+    registry.enabled = obs_enabled
+    get_tracer().enabled = False
+    _WORKER = {"arena": arena, "obs": obs_enabled}
+
+
+def _worker_solve_range(
+    shard_index: int,
+    qos_value: int,
+    attribute: str,
+    epsilon: float,
+    ks: tuple[int, ...],
+    warm_enabled: bool,
+) -> dict:
+    """Solve one contiguous range of contended site pairs in-place.
+
+    Reads the class segment of every pair straight from the shared CSR
+    columns, runs the shared per-pair fill, and writes the results back
+    into the shared ``assigned`` (per flow) and ``placed`` (per tunnel)
+    columns — both writes land in segments owned exclusively by this
+    shard's pairs, so no synchronization is needed.
+    """
+    from .pairfill import fill_pair_warm_or_cold
+
+    state = _WORKER
+    assert state is not None, "worker used before initialization"
+    arena: SharedArena = state["arena"]
+    t_start = monotonic()
+    d_offsets = arena["d_offsets"]
+    volumes = arena["volumes"]
+    qos = arena["qos"]
+    assigned = arena["assigned"]
+    prev_col = arena["prev"]
+    prev_flag = arena["prev_flag"]
+    t_offsets = arena["tunnel_offsets"]
+    alloc = arena["alloc"]
+    placed = arena["placed"]
+    ordered_cols = arena[f"ordered_cols:{attribute}"]
+
+    fill_s = 0.0
+    write_s = 0.0
+    warm_reused = 0
+    for k in ks:
+        lo, hi = int(d_offsets[k]), int(d_offsets[k + 1])
+        mask = qos[lo:hi] == qos_value
+        gidx = lo + np.flatnonzero(mask)
+        vols = volumes[lo:hi][mask]
+        o0, o1 = int(t_offsets[k]), int(t_offsets[k + 1])
+        alloc_k = alloc[o0:o1]
+        fill_order = ordered_cols[o0:o1] - o0
+        prev = (
+            prev_col[gidx]
+            if warm_enabled and prev_flag[k]
+            else None
+        )
+        t0 = monotonic()
+        assigned_k, placed_k, warm = fill_pair_warm_or_cold(
+            vols, alloc_k, fill_order, epsilon, prev
+        )
+        t1 = monotonic()
+        assigned[gidx] = assigned_k
+        placed[o0:o1] = placed_k
+        t2 = monotonic()
+        fill_s += t1 - t0
+        write_s += t2 - t1
+        if warm:
+            warm_reused += 1
+
+    total_s = monotonic() - t_start
+    snapshot = None
+    registry = get_registry()
+    if registry.enabled:
+        shard = str(shard_index)
+        registry.counter(
+            "megate_shard_pairs_total",
+            "Contended site pairs solved by shard workers",
+            labelnames=("shard",),
+        ).labels(shard=shard).inc(len(ks))
+        if warm_reused:
+            registry.counter(
+                "megate_shard_warm_reuse_total",
+                "Shard-worker pair solves served by carried state",
+                labelnames=("shard",),
+            ).labels(shard=shard).inc(warm_reused)
+        phase_hist = registry.histogram(
+            "megate_shard_phase_seconds",
+            "Per-task shard worker phase durations",
+            labelnames=("shard", "phase"),
+        )
+        phase_hist.labels(shard=shard, phase="fill").observe(fill_s)
+        phase_hist.labels(shard=shard, phase="writeback").observe(write_s)
+        registry.histogram(
+            "megate_shard_task_seconds",
+            "Whole shard-task durations",
+            labelnames=("shard",),
+        ).labels(shard=shard).observe(total_s)
+        snapshot = registry.snapshot()
+        registry.reset()
+    return {
+        "shard": shard_index,
+        "pid": os.getpid(),
+        "pairs": len(ks),
+        "warm_reused": warm_reused,
+        "seconds": total_s,
+        "phase_s": {"fill": fill_s, "writeback": write_s},
+        "snapshot": snapshot,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+
+
+@dataclass
+class ShardOutcome:
+    """Result of one sharded class dispatch (data is in the arena).
+
+    Attributes:
+        ks: The contended pair indices that were solved in workers.
+        num_shards: Shards dispatched.
+        warm_reused: Pair solves served by the carried warm state.
+        timings: One entry per shard task (pairs, seconds, phase_s).
+    """
+
+    ks: np.ndarray
+    num_shards: int = 0
+    warm_reused: int = 0
+    timings: list[dict] = field(default_factory=list)
+
+
+def _mp_context():
+    """Fork where available (zero-cost attach), spawn otherwise."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ShardContext:
+    """Shared arena + worker pool for one (topology, flow population).
+
+    Built lazily by the optimizer on the first sharded solve,
+    revalidated every interval (same topology object, same CSR
+    offsets, same telemetry enablement), and rebuilt when any of those
+    change.  ``close()`` is idempotent and runs on every exit path —
+    see the module docstring for the full lifecycle.
+    """
+
+    def __init__(
+        self,
+        config: ShardedConfig,
+        solver,
+        table,
+        attributes: tuple[str, ...],
+    ) -> None:
+        self.config = config
+        self.broken = False
+        self._solver_ref = weakref.ref(solver)
+        self._offsets_fingerprint = np.asarray(
+            table.offsets, dtype=np.int64
+        ).copy()
+        self.obs_enabled = get_registry().enabled
+        self.attributes = tuple(sorted(set(attributes)))
+        num_flows = int(table.volumes.size)
+        num_pairs = int(table.num_pairs)
+        num_vars = int(solver.num_tunnel_vars)
+        specs: list[tuple[str, tuple[int, ...], str]] = [
+            ("d_offsets", (num_pairs + 1,), "int64"),
+            ("volumes", (num_flows,), "float64"),
+            ("qos", (num_flows,), "int8"),
+            ("assigned", (num_flows,), "int32"),
+            ("prev", (num_flows,), "int32"),
+            ("prev_flag", (num_pairs,), "uint8"),
+            ("tunnel_offsets", (num_pairs + 1,), "int64"),
+            ("alloc", (num_vars,), "float64"),
+            ("placed", (num_vars,), "float64"),
+        ]
+        for attribute in self.attributes:
+            specs.append(
+                (f"ordered_cols:{attribute}", (num_vars,), "int64")
+            )
+        self.arena = SharedArena(specs)
+        self.arena["d_offsets"][:] = table.offsets
+        self.arena["tunnel_offsets"][:] = solver.tunnel_offsets
+        self.arena["prev_flag"][:] = 0
+        for attribute in self.attributes:
+            _, ordered_cols = solver.fill_orders(attribute)
+            self.arena[f"ordered_cols:{attribute}"][:] = ordered_cols
+        self._pool = ProcessPoolExecutor(
+            max_workers=config.workers,
+            mp_context=_mp_context(),
+            initializer=_worker_init,
+            initargs=(self.arena.name, self.arena.specs, self.obs_enabled),
+        )
+        # GC safety net: contexts dropped without close() still unlink.
+        self._finalizer = weakref.finalize(
+            self, _close_leftovers, self._pool, self.arena.name
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def matches(self, solver, table) -> bool:
+        """Usable for this interval without rebuilding?"""
+        return (
+            not self.broken
+            and self._solver_ref() is solver
+            and self.obs_enabled == get_registry().enabled
+            and np.array_equal(self._offsets_fingerprint, table.offsets)
+        )
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the arena (idempotent)."""
+        self._finalizer.detach()
+        try:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools
+            pass
+        self.arena.close()
+
+    # -- per-interval / per-class entry points --------------------------
+
+    def load_interval(self, table) -> None:
+        """Copy the interval's demand columns into the arena."""
+        self.arena["volumes"][:] = table.volumes
+        self.arena["qos"][:] = table.qos
+
+    def solve_class(
+        self,
+        qos_value: int,
+        attribute: str,
+        epsilon: float,
+        contended_ks: np.ndarray,
+        pair_weights: np.ndarray,
+        alloc_flat: np.ndarray,
+        warm_prev: dict[int, np.ndarray] | None = None,
+    ) -> ShardOutcome | None:
+        """Dispatch one class's contended residue to the shard workers.
+
+        Returns ``None`` (caller runs the in-process path) when the
+        residue is below the serial cutoff or a worker died — the
+        latter also marks the context broken so the optimizer tears it
+        down and the whole solve degrades gracefully.
+        """
+        if self.broken or attribute not in set(self.attributes):
+            return None
+        shards = plan_shards(contended_ks, pair_weights, self.config)
+        if shards is None:
+            return None
+        arena = self.arena
+        arena["alloc"][:] = alloc_flat
+        warm_enabled = bool(warm_prev)
+        if warm_enabled:
+            flags = arena["prev_flag"]
+            flags[contended_ks] = 0
+            prev_col = arena["prev"]
+            d_offsets = arena["d_offsets"]
+            qos_col = arena["qos"]
+            for k, prev in warm_prev.items():
+                lo, hi = int(d_offsets[k]), int(d_offsets[k + 1])
+                gidx = lo + np.flatnonzero(qos_col[lo:hi] == qos_value)
+                if prev.size != gidx.size:
+                    continue  # population changed; cold solve
+                prev_col[gidx] = prev
+                flags[k] = 1
+        with get_tracer().span(
+            "te.shard.dispatch",
+            qos=qos_value,
+            num_shards=len(shards),
+            num_pairs=int(contended_ks.size),
+        ):
+            # A dead worker surfaces as BrokenProcessPool from submit()
+            # (pool already broken) or from result() (it broke now);
+            # either way the class degrades to the in-process path.
+            try:
+                futures = [
+                    self._pool.submit(
+                        _worker_solve_range,
+                        i,
+                        qos_value,
+                        attribute,
+                        epsilon,
+                        tuple(int(k) for k in part),
+                        warm_enabled,
+                    )
+                    for i, part in enumerate(shards)
+                ]
+                results = [f.result() for f in futures]
+            except BrokenProcessPool:
+                self.broken = True
+                return None
+        outcome = ShardOutcome(ks=contended_ks, num_shards=len(shards))
+        registry = get_registry()
+        for res in results:
+            outcome.warm_reused += res["warm_reused"]
+            snapshot = res.pop("snapshot", None)
+            if snapshot is not None and registry.enabled:
+                registry.merge(snapshot)
+            outcome.timings.append(res)
+        return outcome
+
+
+def _close_leftovers(pool: ProcessPoolExecutor, arena_name: str) -> None:
+    """``weakref.finalize`` target: tear down a GC'd context's resources."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover
+        pass
+    _unlink_segment(arena_name)

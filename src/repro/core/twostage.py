@@ -57,19 +57,19 @@ from typing import TYPE_CHECKING
 
 from ..obs import get_registry, get_tracer, monotonic
 from .batch import triage_ssp_segments
-from .fastssp import fast_ssp
 from .formulation import MaxAllFlowProblem
 from .incremental import (
     ClassLPState,
     IncrementalConfig,
     IncrementalState,
     patch_class_allocation,
-    reconcile_leftovers,
     warm_fill_pair,
 )
 from .lp_backend import resolve_backend_name
+from .pairfill import fill_pair
 from .parallel import parallel_map
 from .qos import PRIORITY_ORDER, QoSClass
+from .sharded import ShardContext, ShardedConfig
 from .siteflow import SiteFlowSolver
 from .types import (
     PHASE_KEYS,
@@ -77,7 +77,6 @@ from .types import (
     SiteAllocation,
     StatKey,
     TEResult,
-    UNASSIGNED,
 )
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> traffic cycle
@@ -175,6 +174,17 @@ class MegaTEOptimizer:
             ``"highspy"`` / ``"auto"``; ``None`` consults the
             ``REPRO_LP_BACKEND`` environment variable, default scipy).
             A missing or failing ``highspy`` degrades to scipy.
+        shard_workers: Process-parallel sharded second stage
+            (:mod:`repro.core.sharded`): worker-process count (int,
+            digit string, or ``"auto"``), a full
+            :class:`~repro.core.sharded.ShardedConfig`, or ``None`` to
+            consult ``REPRO_SHARD_WORKERS`` (same selection pattern as
+            ``lp_backend``; default serial).  ``0``/``1`` explicitly
+            force the in-process path.  Only the batched second stage
+            shards; the result is bit-identical to the in-process path
+            on every setting.  Sharding allocates a shared-memory arena
+            and a worker pool — call :meth:`close` (or use the
+            optimizer as a context manager) to release them.
     """
 
     scheme_name = "MegaTE"
@@ -199,6 +209,7 @@ class MegaTEOptimizer:
         carry_ssp_state: bool = True,
         refresh_every: int = 0,
         lp_backend: str | None = None,
+        shard_workers: int | str | ShardedConfig | None = None,
     ) -> None:
         if not 0 < fastssp_epsilon < 1:
             raise ValueError("fastssp_epsilon must be in (0, 1)")
@@ -227,11 +238,53 @@ class MegaTEOptimizer:
         else:
             self.incremental = None
         self.lp_backend = lp_backend
+        self.shard_workers = shard_workers
         self._state: IncrementalState | None = None
+        self._shard_ctx: ShardContext | None = None
+        self._shard_disabled = False
 
     def reset_incremental_state(self) -> None:
         """Drop carried cross-interval state (next solve runs cold)."""
         self._state = None
+
+    def close(self) -> None:
+        """Release sharded-solve resources (worker pool, shared memory).
+
+        Idempotent; a no-op when the optimizer never sharded.  The
+        shared-memory arena is also unlinked by GC and interpreter-exit
+        hooks, but calling ``close()`` (or using the optimizer as a
+        context manager) releases it deterministically.
+        """
+        if self._shard_ctx is not None:
+            self._shard_ctx.close()
+            self._shard_ctx = None
+
+    def __enter__(self) -> "MegaTEOptimizer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_shard_context(
+        self, config: ShardedConfig, solver: SiteFlowSolver, table
+    ) -> ShardContext:
+        """Reuse the cached shard context or rebuild it for this interval."""
+        ctx = self._shard_ctx
+        if ctx is not None and (
+            ctx.config != config or not ctx.matches(solver, table)
+        ):
+            ctx.close()
+            ctx = None
+        if ctx is None:
+            attributes = tuple(
+                {
+                    self.class_tunnel_attribute.get(q, "weight")
+                    for q in self.qos_order
+                }
+            )
+            ctx = ShardContext(config, solver, table, attributes)
+        self._shard_ctx = ctx
+        return ctx
 
     def solve(
         self, topology: TwoLayerTopology, demands: DemandMatrix
@@ -353,6 +406,22 @@ class MegaTEOptimizer:
         num_uncontended = 0
         num_contended = 0
         per_class_satisfied: dict[int, float] = {}
+
+        # Sharded second stage: resolve the worker spec per solve (so the
+        # env var is consulted like the LP backend's), then build or
+        # revalidate the shared-memory arena + worker pool and publish
+        # this interval's demand columns into it.
+        shard_config: ShardedConfig | None = None
+        shard_ctx: ShardContext | None = None
+        if self.second_stage == "batched" and not self._shard_disabled:
+            shard_config = ShardedConfig.resolve(self.shard_workers)
+        if shard_config is not None:
+            shard_ctx = self._ensure_shard_context(
+                shard_config, solver, table
+            )
+            shard_ctx.load_interval(table)
+        num_sharded = 0
+        shard_timings: list[dict] = []
 
         # Incremental mode: revalidate the carried state against this
         # interval's topology and flow population; a mismatch (or a
@@ -532,52 +601,81 @@ class MegaTEOptimizer:
                     # population is unchanged (the assignment indexes
                     # flow positions) and disabled at threshold 0 to
                     # keep the bit-exactness contract.
-                    warm_outcomes: list[_PairOutcome] = []
-                    if (
+                    warm_active = (
                         state is not None
                         and carried
                         and population_same
                         and inc.carry_ssp_state
                         and inc.delta_threshold > 0.0
-                    ):
-                        cold_ks = []
-                        for k in contended_ks:
-                            prev = state.ssp_assigned.get((qos.value, k))
-                            warm = (
-                                warm_fill_pair(
-                                    cls_vol[seg[k] : seg[k + 1]],
-                                    site_alloc.per_pair[k],
-                                    orders[k],
-                                    prev,
-                                    self.fastssp_epsilon,
-                                )
-                                if prev is not None
-                                else None
-                            )
-                            if warm is None:
-                                cold_ks.append(k)
-                            else:
-                                warm_outcomes.append(
-                                    _PairOutcome(
-                                        k=k,
-                                        assigned_tunnel=warm[0],
-                                        placed_per_tunnel=warm[1],
-                                    )
-                                )
-                        contended_ks = cold_ks
-                    outcomes = parallel_map(
-                        lambda k: self._solve_pair(
-                            k,
-                            cls_vol[seg[k] : seg[k + 1]],
-                            site_alloc.per_pair[k],
-                            orders[k],
-                        ),
-                        contended_ks,
-                        workers=self.workers,
                     )
-                    if warm_outcomes:
-                        ssp_state_reused += len(warm_outcomes)
-                        outcomes = list(outcomes) + warm_outcomes
+                    outcomes: list[_PairOutcome] | None = None
+                    if shard_ctx is not None and contended_ks:
+                        sharded = self._solve_contended_sharded(
+                            shard_ctx,
+                            qos,
+                            attribute,
+                            contended_ks,
+                            seg,
+                            cls_idx,
+                            offsets,
+                            alloc_flat,
+                            state if warm_active else None,
+                        )
+                        if sharded is not None:
+                            outcomes, shard_out = sharded
+                            num_sharded += len(contended_ks)
+                            ssp_state_reused += shard_out.warm_reused
+                            shard_timings.extend(shard_out.timings)
+                        elif shard_ctx.broken:
+                            # A worker died: tear the context down and
+                            # run the rest of this (and every later)
+                            # solve through the in-process path.
+                            self.close()
+                            self._shard_disabled = True
+                            shard_ctx = None
+                    if outcomes is None:
+                        warm_outcomes: list[_PairOutcome] = []
+                        if warm_active:
+                            cold_ks = []
+                            for k in contended_ks:
+                                prev = state.ssp_assigned.get(
+                                    (qos.value, k)
+                                )
+                                warm = (
+                                    warm_fill_pair(
+                                        cls_vol[seg[k] : seg[k + 1]],
+                                        site_alloc.per_pair[k],
+                                        orders[k],
+                                        prev,
+                                        self.fastssp_epsilon,
+                                    )
+                                    if prev is not None
+                                    else None
+                                )
+                                if warm is None:
+                                    cold_ks.append(k)
+                                else:
+                                    warm_outcomes.append(
+                                        _PairOutcome(
+                                            k=k,
+                                            assigned_tunnel=warm[0],
+                                            placed_per_tunnel=warm[1],
+                                        )
+                                    )
+                            contended_ks = cold_ks
+                        outcomes = parallel_map(
+                            lambda k: self._solve_pair(
+                                k,
+                                cls_vol[seg[k] : seg[k + 1]],
+                                site_alloc.per_pair[k],
+                                orders[k],
+                            ),
+                            contended_ks,
+                            workers=self.workers,
+                        )
+                        if warm_outcomes:
+                            ssp_state_reused += len(warm_outcomes)
+                            outcomes = list(outcomes) + warm_outcomes
                     sp.set_attribute("num_pairs", len(outcomes))
                 dt = sp.duration_s
                 stage2_s += dt
@@ -664,8 +762,75 @@ class MegaTEOptimizer:
                 StatKey.PAIRS_DELTA_PATCHED: pairs_delta_patched,
                 StatKey.SSP_STATE_REUSED: ssp_state_reused,
                 StatKey.INCREMENTAL: inc is not None,
+                StatKey.SHARD_WORKERS: (
+                    shard_config.workers
+                    if shard_config is not None
+                    else 0
+                ),
+                StatKey.NUM_SHARDED_PAIRS: num_sharded,
+                StatKey.SHARD_TIMINGS: shard_timings,
             },
         )
+
+    def _solve_contended_sharded(
+        self,
+        shard_ctx: ShardContext,
+        qos: QoSClass,
+        attribute: str,
+        contended_ks: list[int],
+        seg: np.ndarray,
+        cls_idx: np.ndarray,
+        offsets: np.ndarray,
+        alloc_flat: np.ndarray,
+        state: IncrementalState | None,
+    ) -> "tuple[list[_PairOutcome], object] | None":
+        """Dispatch one class's contended residue to the shard workers.
+
+        Workers write each pair's class assignment and per-tunnel placed
+        volume straight into the shared columns; this reads them back
+        into owned ``_PairOutcome`` arrays (never views into the arena —
+        the segment outlives no solve) so the merge loop, the satisfied
+        accounting, and the carried SSP state are byte-for-byte the
+        in-process path's.  Returns ``None`` when the context declined
+        (serial cutoff) or broke (worker death).
+        """
+        warm_prev: dict[int, np.ndarray] | None = None
+        if state is not None:
+            warm_prev = {}
+            for k in contended_ks:
+                prev = state.ssp_assigned.get((qos.value, k))
+                if prev is not None:
+                    warm_prev[k] = prev
+            if not warm_prev:
+                warm_prev = None
+        ks_arr = np.asarray(contended_ks, dtype=np.int64)
+        weights = (seg[ks_arr + 1] - seg[ks_arr]).astype(np.float64)
+        shard_out = shard_ctx.solve_class(
+            qos.value,
+            attribute,
+            self.fastssp_epsilon,
+            ks_arr,
+            weights,
+            alloc_flat,
+            warm_prev,
+        )
+        if shard_out is None:
+            return None
+        shared_assigned = shard_ctx.arena["assigned"]
+        shared_placed = shard_ctx.arena["placed"]
+        outcomes = [
+            _PairOutcome(
+                k=k,
+                assigned_tunnel=shared_assigned[
+                    cls_idx[seg[k] : seg[k + 1]]
+                ].copy(),
+                placed_per_tunnel=shared_placed[
+                    offsets[k] : offsets[k + 1]
+                ].copy(),
+            )
+            for k in contended_ks
+        ]
+        return outcomes, shard_out
 
     def _solve_pair(
         self,
@@ -681,32 +846,13 @@ class MegaTEOptimizer:
         most preferred tunnel's allocation is filled first (App. A.2's
         sequential dependency) and each subsequent tunnel chooses among
         the still-unassigned flows.
+
+        Delegates to :func:`repro.core.pairfill.fill_pair` — the same
+        function the shard workers run, which is what makes the sharded
+        path bit-identical to this one.
         """
-        assigned = np.full(volumes.size, UNASSIGNED, dtype=np.int32)
-        placed = np.zeros(alloc_k.size, dtype=np.float64)
-        if volumes.size == 0 or alloc_k.size == 0:
-            return _PairOutcome(
-                k=k, assigned_tunnel=assigned, placed_per_tunnel=placed
-            )
-        for t_index in fill_order:
-            capacity = alloc_k[t_index]
-            if capacity <= 0:
-                continue
-            free = np.flatnonzero(assigned == UNASSIGNED)
-            if free.size == 0:
-                break
-            result = fast_ssp(
-                volumes[free], capacity, epsilon=self.fastssp_epsilon
-            )
-            chosen = free[np.asarray(result.selected, dtype=np.int64)]
-            assigned[chosen] = t_index
-            placed[t_index] = result.total
-        # Reconciliation pass: FastSSP may leave slack on several tunnels
-        # that no single remaining flow fit at the time; retry the largest
-        # leftover flows against each tunnel's remaining allocation.
-        leftovers = alloc_k - placed
-        reconcile_leftovers(
-            volumes, assigned, placed, leftovers, fill_order
+        assigned, placed = fill_pair(
+            volumes, alloc_k, fill_order, self.fastssp_epsilon
         )
         return _PairOutcome(
             k=k, assigned_tunnel=assigned, placed_per_tunnel=placed

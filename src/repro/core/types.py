@@ -60,6 +60,9 @@ class StatKey:
     PAIRS_DELTA_PATCHED = "pairs_delta_patched"
     SSP_STATE_REUSED = "ssp_state_reused"
     INCREMENTAL = "incremental"
+    SHARD_WORKERS = "shard_workers"
+    NUM_SHARDED_PAIRS = "num_sharded_pairs"
+    SHARD_TIMINGS = "shard_timings"
 
     # Phases of the ``phase_s`` breakdown.
     PHASE_MATRIX_BUILD = "matrix_build"

@@ -13,6 +13,16 @@ The schema is deliberately minimal: it pins the keys the trajectory
 tooling actually reads (identity, config, per-mode timing summaries)
 and ignores everything else, so adding new fields to a record never
 breaks old validators.
+
+One history file can interleave records from *multiple named bench
+configurations* (the 20k-endpoint regression config and the
+million-endpoint replay both append to ``BENCH_interval_solve.json``).
+Each record carries its configuration under ``config`` and, for new
+records, a ``config_name``; legacy records (written when the artifact
+assumed a single config block) derive their name from the config via
+:func:`config_name_of`.  Two records claiming the same name must pin
+identical configs — that is what keeps a per-name trajectory
+comparable — and :func:`load_history` can filter to one name.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from pathlib import Path
 __all__ = [
     "BenchHistoryError",
     "validate_history_record",
+    "config_name_of",
     "load_history",
 ]
 
@@ -57,6 +68,34 @@ CONFIG_KEYS = (
     "num_intervals",
     "seed",
 )
+
+#: Extra per-mode summaries validated when present (records from
+#: configs that exercise them; absent on legacy records).
+OPTIONAL_MODES = ("sharded",)
+
+
+def config_name_of(record: dict) -> str:
+    """The record's bench-config name.
+
+    New records carry an explicit ``config_name``; legacy records (and
+    ad-hoc ones) derive ``"<topology>-<endpoints>"`` with the endpoint
+    count abbreviated (``20k``, ``1m``) from their config block, so the
+    historical single-config artifact keeps one coherent trajectory
+    name without rewriting it.
+    """
+    name = record.get("config_name")
+    if isinstance(name, str) and name:
+        return name
+    config = record.get("config", {})
+    topology = config.get("topology_name", "unknown")
+    endpoints = config.get("total_endpoints", 0)
+    if endpoints and endpoints % 1_000_000 == 0:
+        scale = f"{endpoints // 1_000_000}m"
+    elif endpoints and endpoints % 1_000 == 0:
+        scale = f"{endpoints // 1_000}k"
+    else:
+        scale = str(endpoints)
+    return f"{topology}-{scale}"
 
 
 class BenchHistoryError(ValueError):
@@ -121,6 +160,13 @@ def validate_history_record(record: object, index: int | None = None) -> None:
     _require(isinstance(config, dict), where, "config must be a dict")
     for key in CONFIG_KEYS:
         _require(key in config, where, f"config missing {key!r}")
+    if "config_name" in record:
+        _require(
+            isinstance(record["config_name"], str)
+            and bool(record["config_name"]),
+            where,
+            "config_name must be a non-empty string",
+        )
     realization = record["realization_s"]
     _require(
         isinstance(realization, dict) and realization,
@@ -135,6 +181,9 @@ def validate_history_record(record: object, index: int | None = None) -> None:
         )
     for mode in ("batched", "serial", "incremental"):
         _validate_mode(record[mode], f"{where}.{mode}")
+    for mode in OPTIONAL_MODES:
+        if mode in record:
+            _validate_mode(record[mode], f"{where}.{mode}")
     speedup = record["incremental_speedup_vs_batched"]
     _require(
         isinstance(speedup, (int, float)) and speedup > 0,
@@ -143,7 +192,9 @@ def validate_history_record(record: object, index: int | None = None) -> None:
     )
 
 
-def load_history(path: Path | str) -> list[dict]:
+def load_history(
+    path: Path | str, config_name: str | None = None
+) -> list[dict]:
     """Load and validate the artifact's run history.
 
     A missing artifact or a snapshot-only artifact (no ``history`` key —
@@ -152,9 +203,20 @@ def load_history(path: Path | str) -> list[dict]:
     :func:`validate_history_record`.  Corruption raises rather than
     silently dropping the trajectory.
 
+    The history may mix records from several named bench configs.  Two
+    records resolving to the same :func:`config_name_of` must pin
+    byte-equal config blocks — a drifting config under a stable name
+    would silently make the per-name trajectory incomparable.
+
+    Args:
+        path: The artifact file.
+        config_name: When given, return only the records of that named
+            config (legacy records match via their derived name).
+
     Raises:
-        BenchHistoryError: When the artifact is unreadable, not JSON, or
-            any history record violates the schema.
+        BenchHistoryError: When the artifact is unreadable, not JSON,
+            any history record violates the schema, or records sharing
+            a config name disagree on the config.
     """
     path = Path(path)
     if not path.exists():
@@ -170,6 +232,23 @@ def load_history(path: Path | str) -> list[dict]:
     history = existing.get("history", [])
     if not isinstance(history, list):
         raise BenchHistoryError(f"{path.name}: history must be a list")
+    configs_by_name: dict[str, tuple[int, dict]] = {}
     for i, record in enumerate(history):
         validate_history_record(record, index=i)
+        name = config_name_of(record)
+        seen = configs_by_name.get(name)
+        if seen is None:
+            configs_by_name[name] = (i, record["config"])
+        elif seen[1] != record["config"]:
+            raise BenchHistoryError(
+                f"history[{i}]: config of {name!r} differs from "
+                f"history[{seen[0]}] — same-name records must pin "
+                "identical configs"
+            )
+    if config_name is not None:
+        return [
+            record
+            for record in history
+            if config_name_of(record) == config_name
+        ]
     return history

@@ -102,6 +102,7 @@ def build_scenario(
     flows_per_endpoint: float = 3.0,
     target_load: float = 1.0,
     seed: int = 0,
+    flat: bool = False,
 ) -> Scenario:
     """Build a scenario the way §6.1 describes.
 
@@ -124,6 +125,10 @@ def build_scenario(
         target_load: Offered load relative to the matrix's measured
             carriage capacity (max concurrent flow).
         seed: Master seed.
+        flat: Generate demands with the vectorized columnar
+            :class:`~repro.traffic.generator.FlatTraceGenerator` — the
+            only practical option at million-endpoint scale (different
+            draw order, so not digest-compatible with the default).
     """
     network = topology_by_name(topology_name)
     pairs = sample_site_pairs(network, num_site_pairs, seed=seed)
@@ -142,6 +147,7 @@ def build_scenario(
         seed=seed + 1,
         pairs_per_endpoint=flows_per_endpoint,
         max_pairs_per_site_pair=500_000,
+        flat=flat,
     )
     demands = scale_to_load(demands, topology, target_load)
     return Scenario(name=network.name, topology=topology, demands=demands)

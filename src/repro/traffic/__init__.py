@@ -1,7 +1,12 @@
 """Traffic substrate: endpoint-granular demands and trace-style generators."""
 
 from .demand import DemandMatrix, PairDemands
-from .generator import TraceStyleGenerator, generate_demands, scale_to_load
+from .generator import (
+    FlatTraceGenerator,
+    TraceStyleGenerator,
+    generate_demands,
+    scale_to_load,
+)
 from .mapping import map_demands
 from .matrices import DiurnalSequence
 from .trace_io import (
@@ -20,6 +25,7 @@ __all__ = [
     "DemandMatrix",
     "PairDemands",
     "TraceStyleGenerator",
+    "FlatTraceGenerator",
     "generate_demands",
     "scale_to_load",
     "map_demands",

@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments.bench_history import (
     BenchHistoryError,
+    config_name_of,
     load_history,
     validate_history_record,
 )
@@ -146,6 +147,72 @@ def test_load_invalid_record_raises(tmp_path):
     path.write_text(json.dumps({"history": [record]}))
     with pytest.raises(BenchHistoryError, match=r"history\[0\]"):
         load_history(path)
+
+
+def _million_record() -> dict:
+    """A record of the second named config (the 1M-endpoint replay)."""
+    record = _valid_record()
+    record["config_name"] = "twan-1m"
+    record["config"] = {
+        "topology_name": "twan",
+        "total_endpoints": 1_000_000,
+        "num_site_pairs": 60,
+        "num_intervals": 3,
+        "seed": 42,
+    }
+    record["sharded"] = _mode_summary()
+    return record
+
+
+class TestMixedConfigHistories:
+    def test_config_name_of_explicit_and_derived(self):
+        assert config_name_of(_million_record()) == "twan-1m"
+        # Legacy records carry no config_name; the derived name keeps
+        # their trajectory coherent.
+        assert config_name_of(_valid_record()) == "twan-20k"
+
+    def test_empty_config_name_raises(self):
+        record = _valid_record()
+        record["config_name"] = ""
+        with pytest.raises(BenchHistoryError, match="config_name"):
+            validate_history_record(record)
+
+    def test_optional_sharded_mode_is_validated(self):
+        record = _million_record()
+        record["sharded"]["assignment_digest"] = "short"
+        with pytest.raises(BenchHistoryError, match="sharded"):
+            validate_history_record(record)
+
+    def test_mixed_config_history_loads_and_filters(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "history": [
+                        _valid_record(),
+                        _million_record(),
+                        _valid_record(),
+                    ]
+                }
+            )
+        )
+        assert len(load_history(path)) == 3
+        assert len(load_history(path, config_name="twan-20k")) == 2
+        only_1m = load_history(path, config_name="twan-1m")
+        assert len(only_1m) == 1
+        assert only_1m[0]["config"]["total_endpoints"] == 1_000_000
+        assert load_history(path, config_name="absent") == []
+
+    def test_same_name_divergent_config_raises(self, tmp_path):
+        """A config drifting under a stable name corrupts the trajectory."""
+        drifted = _valid_record()
+        drifted["config"]["num_site_pairs"] = 61
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps({"history": [_valid_record(), drifted]})
+        )
+        with pytest.raises(BenchHistoryError, match="identical configs"):
+            load_history(path)
 
 
 def test_repo_artifact_validates():

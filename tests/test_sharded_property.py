@@ -1,0 +1,124 @@
+"""Property test: the sharded solve is bit-identical to the serial one.
+
+Hypothesis drives the shard geometry — worker count, boundary strategy,
+serial cutoff — and the demand-side shape: randomly emptied site pairs,
+including *trailing* empty ranges (the classic CSR edge case where a
+segment reduction can silently truncate the last non-empty pair).  Every
+drawn configuration must reproduce the serial assignment digest exactly;
+a single differing byte fails the property.
+
+The serial reference is solved once per distinct empty-pair mask and
+cached, so examples mostly pay for the sharded run (pool startup + the
+contended residue).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MegaTEOptimizer, ShardedConfig
+from repro.experiments.common import build_scenario
+from repro.traffic.demand import DemandMatrix, PairDemands
+
+NUM_PAIRS = 30
+
+
+@pytest.fixture(scope="module")
+def base_scenario():
+    """Overloaded small scenario so several pairs are contended."""
+    sc = build_scenario(
+        "twan",
+        total_endpoints=3_000,
+        num_site_pairs=NUM_PAIRS,
+        target_load=1.6,
+        seed=11,
+    )
+    return sc.topology, sc.demands
+
+
+def _digest(result) -> str:
+    h = hashlib.sha256()
+    for arr in result.assignment.per_pair:
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _empty_pairs(demands: DemandMatrix, mask: tuple[bool, ...]) -> DemandMatrix:
+    """The same matrix with the masked site pairs emptied (zero flows)."""
+    per_pair = []
+    for k in range(demands.num_site_pairs):
+        if mask[k]:
+            per_pair.append(
+                PairDemands(
+                    volumes=np.empty(0, dtype=np.float64),
+                    qos=np.empty(0, dtype=np.int8),
+                )
+            )
+        else:
+            volumes = demands.table.volumes[
+                demands.table.offsets[k] : demands.table.offsets[k + 1]
+            ]
+            qos = demands.table.qos[
+                demands.table.offsets[k] : demands.table.offsets[k + 1]
+            ]
+            per_pair.append(
+                PairDemands(
+                    volumes=volumes.copy(), qos=qos.copy()
+                )
+            )
+    return DemandMatrix(per_pair)
+
+
+@st.composite
+def shard_cases(draw):
+    workers = draw(st.integers(min_value=2, max_value=4))
+    strategy = draw(st.sampled_from(["contiguous", "balanced"]))
+    min_pairs = draw(st.integers(min_value=1, max_value=3))
+    # Random interior holes plus a trailing empty run: both shapes an
+    # index-range sharder can get wrong.
+    emptied = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=NUM_PAIRS - 1),
+            max_size=NUM_PAIRS // 3,
+        )
+    )
+    trailing = draw(st.integers(min_value=0, max_value=3))
+    mask = [False] * NUM_PAIRS
+    for k in emptied:
+        mask[k] = True
+    for k in range(NUM_PAIRS - trailing, NUM_PAIRS):
+        mask[k] = True
+    return (
+        ShardedConfig(
+            workers=workers,
+            strategy=strategy,
+            min_pairs_per_shard=min_pairs,
+        ),
+        tuple(mask),
+    )
+
+
+_SERIAL_CACHE: dict[tuple[bool, ...], str] = {}
+_DEMANDS_CACHE: dict[tuple[bool, ...], DemandMatrix] = {}
+
+
+@settings(max_examples=12, deadline=None)
+@given(case=shard_cases())
+def test_sharded_digest_matches_serial(base_scenario, case):
+    topology, base_demands = base_scenario
+    config, mask = case
+    demands = _DEMANDS_CACHE.get(mask)
+    if demands is None:
+        demands = _empty_pairs(base_demands, mask)
+        _DEMANDS_CACHE[mask] = demands
+    serial_digest = _SERIAL_CACHE.get(mask)
+    if serial_digest is None:
+        serial_digest = _digest(MegaTEOptimizer().solve(topology, demands))
+        _SERIAL_CACHE[mask] = serial_digest
+    with MegaTEOptimizer(shard_workers=config) as opt:
+        sharded = opt.solve(topology, demands)
+    assert _digest(sharded) == serial_digest

@@ -9,6 +9,7 @@ from repro.core import QoSClass
 from repro.traffic import (
     DemandMatrix,
     DiurnalSequence,
+    FlatTraceGenerator,
     PairDemands,
     TraceStyleGenerator,
     generate_demands,
@@ -160,6 +161,66 @@ class TestGenerator:
         assert np.mean(class3) > np.mean(class2)
 
 
+class TestFlatGenerator:
+    """The columnar generator realizes the same statistical model."""
+
+    def test_qos_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            FlatTraceGenerator(qos_mix=(0.5, 0.5, 0.5))
+
+    def test_shape_and_endpoint_ranges(self, b4_topology):
+        matrix = generate_demands(b4_topology, seed=0, flat=True)
+        assert matrix.num_site_pairs == b4_topology.catalog.num_pairs
+        assert matrix.num_endpoint_pairs > 0
+        for k, pair in enumerate(matrix):
+            assert pair.num_pairs >= 1
+            assert pair.src_endpoints is not None
+            src_site, dst_site = b4_topology.catalog.pairs[k]
+            src_range = b4_topology.layout.endpoint_ids(src_site)
+            dst_range = b4_topology.layout.endpoint_ids(dst_site)
+            assert (
+                (pair.src_endpoints >= src_range.start)
+                & (pair.src_endpoints < src_range.stop)
+            ).all()
+            assert (
+                (pair.dst_endpoints >= dst_range.start)
+                & (pair.dst_endpoints < dst_range.stop)
+            ).all()
+
+    def test_deterministic(self, b4_topology):
+        a = generate_demands(b4_topology, seed=5, flat=True)
+        b = generate_demands(b4_topology, seed=5, flat=True)
+        np.testing.assert_array_equal(
+            a.table.volumes, b.table.volumes
+        )
+        np.testing.assert_array_equal(a.table.qos, b.table.qos)
+
+    def test_pair_counts_match_trace_style_scale(self, b4_topology):
+        """Both generators draw |I_k| from the same Poisson model, so
+        the total flow counts agree to sampling noise."""
+        flat = generate_demands(b4_topology, seed=3, flat=True)
+        looped = generate_demands(b4_topology, seed=3)
+        ratio = flat.num_endpoint_pairs / looped.num_endpoint_pairs
+        assert 0.8 < ratio < 1.25
+
+    def test_bulk_flows_heavier(self, b4_topology):
+        matrix = generate_demands(
+            b4_topology, seed=0, flat=True, bulk_multiplier=10.0
+        )
+        qos = matrix.table.qos
+        volumes = matrix.table.volumes
+        assert volumes[qos == 3].mean() > volumes[qos == 2].mean()
+
+    def test_solvable(self, b4_topology):
+        from repro.core import MegaTEOptimizer
+
+        matrix = generate_demands(
+            b4_topology, seed=1, target_load=0.8, flat=True
+        )
+        result = MegaTEOptimizer().solve(b4_topology, matrix)
+        assert result.satisfied_fraction > 0.97
+
+
 class TestScaleToLoad:
     def test_load_one_is_fully_satisfiable(self, b4_topology):
         from repro.core import MegaTEOptimizer
@@ -263,3 +324,28 @@ class TestDiurnal:
             DiurnalSequence(base=base, interval_minutes=0.0)
         with pytest.raises(ValueError):
             DiurnalSequence(base=base, peak_to_trough=0.5)
+
+    def test_flat_jitter_matches_per_pair_draws(self):
+        """The columnar jitter draw reproduces the historical per-pair
+        loop byte for byte (pinned replay digests depend on it)."""
+        base = DemandMatrix(
+            [
+                make_pair_demands([1.0, 2.0, 4.0]),
+                PairDemands.empty(),
+                make_pair_demands([0.5, 8.0]),
+            ]
+        )
+        seq = DiurnalSequence(base=base, jitter_sigma=0.3, seed=9)
+        interval = 7
+        m = seq.matrix(interval)
+        rng = np.random.default_rng(seq.seed + interval)
+        factor = seq.load_factor(interval)
+        for k, pair in enumerate(base):
+            jitter = rng.lognormal(
+                -0.5 * seq.jitter_sigma**2,
+                seq.jitter_sigma,
+                size=pair.num_pairs,
+            )
+            np.testing.assert_array_equal(
+                m.pair(k).volumes, pair.volumes * factor * jitter
+            )
