@@ -40,6 +40,7 @@ from .experiments import (
     table02,
 )
 from .experiments.reporting import render_table
+from .simulation.soak import SCENARIO_NAMES
 
 __all__ = ["main"]
 
@@ -515,6 +516,124 @@ def _cmd_chaos(args) -> None:
     _emit("\n".join(lines) + "\n", args.out)
 
 
+def _git_sha() -> str:
+    """Short commit id for history records (``unknown`` outside git)."""
+    import subprocess
+
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return sha or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _cmd_soak(args) -> None:
+    """``repro soak``: long-horizon soak with SLO gating.
+
+    Replays a scenario matrix of overlapping failures (link cuts, shard
+    failover, stale-replica storms, flash crowds, maintenance drains)
+    through the incremental + sharded solve engine and the sync plane,
+    then evaluates the run's Prometheus snapshot against the SLO spec.
+    Exits non-zero on any violation unless ``--no-gate``.
+    """
+    import time
+
+    from .experiments.soak_study import (
+        append_soak_record,
+        run_soak_study,
+        soak_config,
+        soak_history_record,
+    )
+
+    overrides = dict(
+        topology_name=args.topology,
+        total_endpoints=args.endpoints,
+        num_site_pairs=args.pairs,
+        num_intervals=args.intervals,
+        seed=args.seed,
+        num_agents=args.agents,
+        num_shards=args.shards,
+        shard_workers=args.shard_workers,
+    )
+    report = run_soak_study(args.scenario, **overrides)
+    if args.metrics_out:
+        # run_soak leaves its series in the registry for exactly this.
+        registry = obs.get_registry()
+        if args.metrics_out.endswith(".json"):
+            text = (
+                json.dumps(obs.registry_to_json(registry), indent=2)
+                + "\n"
+            )
+        else:
+            text = obs.registry_to_prometheus(registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.history:
+        cfg = soak_config(args.scenario, **overrides)
+        record = soak_history_record(
+            report,
+            cfg,
+            timestamp=time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            git_sha=_git_sha(),
+        )
+        total = append_soak_record(args.history, record)
+        print(
+            f"appended soak record {record['config_name']} to "
+            f"{args.history} ({total} history records)"
+        )
+    if args.json:
+        _emit(json.dumps(report.as_dict(), indent=2) + "\n", args.out)
+    else:
+        slo, spec = report.slo, report.slo_spec
+        rows = [
+            ("availability", slo.availability,
+             f">= {spec.min_availability}",
+             slo.availability >= spec.min_availability),
+            ("staleness_p99_s", slo.staleness_p99_s,
+             f"<= {spec.max_staleness_p99_s}",
+             slo.staleness_p99_s <= spec.max_staleness_p99_s),
+            ("degraded_fraction", slo.degraded_fraction,
+             f"<= {spec.max_degraded_fraction}",
+             slo.degraded_fraction <= spec.max_degraded_fraction),
+            ("delivered_floor", slo.delivered_floor,
+             f">= {spec.min_delivered_floor}",
+             slo.delivered_floor >= spec.min_delivered_floor),
+            ("solver_phase_p99_s", slo.solver_phase_p99_s,
+             f"<= {spec.max_solver_phase_p99_s}",
+             slo.solver_phase_p99_s <= spec.max_solver_phase_p99_s),
+        ]
+        lines = [
+            f"Soak: scenario {report.scenario} on {report.topology} "
+            f"({report.num_flows} flows, {report.num_intervals} "
+            f"intervals, {report.num_agents} agents, "
+            f"{report.num_shards} shards, seed {report.seed})",
+            render_table(
+                ["slo", "value", "bound", "ok"],
+                [(name, value, bound, "yes" if ok else "NO")
+                 for name, value, bound, ok in rows],
+                precision=4,
+            ),
+            "",
+            f"{len(report.event_log)} events fired, "
+            f"{report.publishes} publishes, "
+            f"converged {report.final_converged_fraction:.3f}, "
+            f"{report.injected_faults} injected faults, "
+            f"{report.num_sharded_pairs} sharded pairs",
+            f"identity digest {report.identity_digest()}",
+        ]
+        _emit("\n".join(lines) + "\n", args.out)
+    if report.violations and not args.no_gate:
+        raise SystemExit(
+            "soak SLO violations:\n  " + "\n  ".join(report.violations)
+        )
+
+
 def _cmd_metrics(args) -> None:
     _instrumented_replay(args)
     registry = obs.get_registry()
@@ -570,6 +689,7 @@ _COMMANDS = {
     "fig16": _cmd_fig16,
     "fig17": _cmd_fig17,
     "chaos": _cmd_chaos,
+    "soak": _cmd_soak,
     "replay": _cmd_replay,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
@@ -660,6 +780,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=4)
     p.add_argument("--horizon", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_output_flags(p)
+
+    p = sub.add_parser(
+        "soak",
+        help="long-horizon multi-failure soak with SLO gates",
+    )
+    p.add_argument(
+        "--scenario", choices=list(SCENARIO_NAMES), default="full-mix",
+        help="which event mix to replay (see simulation.soak)",
+    )
+    p.add_argument("--topology", default="twan")
+    p.add_argument("--endpoints", type=int, default=20_000)
+    p.add_argument("--pairs", type=int, default=60)
+    p.add_argument("--intervals", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--agents", type=int, default=40)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--shard-workers", type=int, default=2)
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metrics snapshot (Prometheus text, or a "
+             "JSON snapshot for .json files)",
+    )
+    p.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="append a validated 'soak' record to this bench-history "
+             "artifact (e.g. BENCH_interval_solve.json)",
+    )
+    p.add_argument(
+        "--no-gate", action="store_true",
+        help="report SLO violations without failing the process",
+    )
     _add_output_flags(p)
 
     p = sub.add_parser(

@@ -35,6 +35,7 @@ from .watcher import (
     shard_link,
 )
 from .hybrid import HybridPlan, exposure_after_failure, plan_hybrid_sync
+from .publisher import ResumablePublisher
 from .database import (
     QueryRejected,
     SHARD_CAPACITY_QPS,
@@ -77,6 +78,7 @@ __all__ = [
     "VERSION_KEY",
     "config_key",
     "EndpointAgent",
+    "ResumablePublisher",
     "ConvergenceReport",
     "spread_offsets",
     "simulate_convergence",

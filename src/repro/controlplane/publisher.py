@@ -1,0 +1,80 @@
+"""Resumable config publishing through a (possibly faulty) TE store.
+
+:class:`~repro.controlplane.controller.TEController` publishes a version
+by writing every endpoint config first and the version key strictly
+last, so an agent that observes the new version is guaranteed to find
+the new configs.  Under injected store faults a publish can fail *mid
+sequence*; :class:`ResumablePublisher` keeps that ordering invariant
+while surviving the faults: failed writes stay queued and resume on the
+next pump, and a newer publish supersedes a stalled one.
+
+Shared by the chaos study (:mod:`repro.experiments.chaos_sync`) and the
+soak engine (:mod:`repro.simulation.soak`), which both drive a fleet of
+agents against a fault-wrapped database on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from .controller import EndpointConfig, VERSION_KEY, config_key
+from .database import SyncError, TEDatabase
+
+__all__ = ["ResumablePublisher"]
+
+
+class ResumablePublisher:
+    """Writes config versions through a faulty store, resumably.
+
+    Mirrors the controller's write ordering — configs first, the version
+    key strictly last — but survives mid-publish faults: failed writes
+    stay queued and resume on the next tick, so an agent that sees the
+    new version is still guaranteed to find the new configs.
+
+    Attributes:
+        published_version: Newest version whose version-key flip landed.
+    """
+
+    def __init__(self, database: TEDatabase, num_agents: int) -> None:
+        self.database = database
+        self.num_agents = num_agents
+        self.published_version = 0
+        self._target_version = 0
+        self._pending: list[int] = []
+        self._flip_pending = False
+
+    def start(self, version: int) -> None:
+        """Queue a publish (supersedes any still-pending one)."""
+        self._target_version = version
+        self._pending = list(range(self.num_agents))
+        self._flip_pending = True
+
+    def pump(self, now: float, budget: int = 1000) -> None:
+        """Push queued writes until one fails or the queue drains."""
+        if not self._flip_pending:
+            return
+        wrote = 0
+        while self._pending and wrote < budget:
+            endpoint = self._pending[0]
+            config = EndpointConfig(
+                endpoint_id=endpoint,
+                version=self._target_version,
+                paths={
+                    (endpoint + 1)
+                    % self.num_agents: ("siteA", "siteB")
+                },
+            )
+            try:
+                self.database.put(
+                    config_key(endpoint), config, now=now
+                )
+            except SyncError:
+                return  # resume next tick
+            self._pending.pop(0)
+            wrote += 1
+        if self._pending:
+            return
+        try:
+            stored = self.database.put(VERSION_KEY, None, now=now)
+        except SyncError:
+            return  # version flip resumes next tick
+        self.published_version = stored
+        self._flip_pending = False

@@ -46,7 +46,7 @@ import atexit
 import os
 import uuid
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 import multiprocessing as mp
@@ -59,6 +59,7 @@ from .parallel import resolve_workers
 
 __all__ = [
     "SHARD_WORKERS_ENV",
+    "SHARD_FAILPOINT_ENV",
     "SEGMENT_PREFIX",
     "ShardedConfig",
     "ShardOutcome",
@@ -70,6 +71,12 @@ __all__ = [
 
 #: Environment variable consulted when no explicit worker spec is given.
 SHARD_WORKERS_ENV = "REPRO_SHARD_WORKERS"
+
+#: Test failpoint: a worker whose shard index matches this env value
+#: hard-exits (``os._exit``) at task entry — the deterministic stand-in
+#: for a worker OOM-kill.  Inherited at fork, so it must be set before
+#: the pool is built and cleared afterwards.  Never set in production.
+SHARD_FAILPOINT_ENV = "REPRO_SHARD_FAILPOINT"
 
 #: Prefix of every shared-memory segment this module creates; the leak
 #: check scans ``/dev/shm`` for it.
@@ -357,6 +364,8 @@ def _worker_solve_range(
     """
     from .pairfill import fill_pair_warm_or_cold
 
+    if os.environ.get(SHARD_FAILPOINT_ENV) == str(shard_index):
+        os._exit(1)  # injected worker crash (see SHARD_FAILPOINT_ENV)
     state = _WORKER
     assert state is not None, "worker used before initialization"
     arena: SharedArena = state["arena"]
@@ -452,15 +461,25 @@ class ShardOutcome:
 
     Attributes:
         ks: The contended pair indices that were solved in workers.
+            On a partial salvage (a worker died mid-dispatch) this is
+            only the completed shards' pairs — the rest are in
+            ``failed_ks`` and the caller must re-solve them in-process.
         num_shards: Shards dispatched.
         warm_reused: Pair solves served by the carried warm state.
-        timings: One entry per shard task (pairs, seconds, phase_s).
+        timings: One entry per completed shard task (pairs, seconds,
+            phase_s).
+        failed_ks: Pair indices of shards lost to a worker crash
+            (``None`` when every shard completed).  Their arena slots
+            hold garbage; their telemetry snapshots never existed, so
+            completed shards' ``megate_shard_*`` series merge exactly
+            once and crashed shards contribute nothing.
     """
 
     ks: np.ndarray
     num_shards: int = 0
     warm_reused: int = 0
     timings: list[dict] = field(default_factory=list)
+    failed_ks: np.ndarray | None = None
 
 
 def _mp_context():
@@ -569,10 +588,16 @@ class ShardContext:
     ) -> ShardOutcome | None:
         """Dispatch one class's contended residue to the shard workers.
 
-        Returns ``None`` (caller runs the in-process path) when the
-        residue is below the serial cutoff or a worker died — the
-        latter also marks the context broken so the optimizer tears it
-        down and the whole solve degrades gracefully.
+        Returns ``None`` (caller runs the whole in-process path) when
+        the residue is below the serial cutoff or the pool was already
+        broken at submit time.  When a worker dies *mid-dispatch*, the
+        shards that completed are salvaged: their arena results and
+        telemetry snapshots are kept (merged exactly once — the crashed
+        shard recorded nothing, so no ``megate_shard_*`` series can be
+        double-counted), the lost pairs come back in
+        :attr:`ShardOutcome.failed_ks` for the caller to re-solve
+        in-process, and the context is marked broken so the optimizer
+        tears it down after the class.
         """
         if self.broken or attribute not in set(self.attributes):
             return None
@@ -602,8 +627,9 @@ class ShardContext:
             num_pairs=int(contended_ks.size),
         ):
             # A dead worker surfaces as BrokenProcessPool from submit()
-            # (pool already broken) or from result() (it broke now);
-            # either way the class degrades to the in-process path.
+            # (pool already broken — nothing dispatched, degrade whole)
+            # or on individual futures (it broke mid-dispatch — salvage
+            # the shards that completed, return the rest as failed_ks).
             try:
                 futures = [
                     self._pool.submit(
@@ -617,11 +643,35 @@ class ShardContext:
                     )
                     for i, part in enumerate(shards)
                 ]
-                results = [f.result() for f in futures]
             except BrokenProcessPool:
                 self.broken = True
                 return None
-        outcome = ShardOutcome(ks=contended_ks, num_shards=len(shards))
+            wait(futures)
+        results: list[dict] = []
+        solved_parts: list[np.ndarray] = []
+        failed_parts: list[np.ndarray] = []
+        for part, future in zip(shards, futures):
+            exc = future.exception()
+            if exc is None:
+                results.append(future.result())
+                solved_parts.append(np.asarray(part))
+            elif isinstance(exc, BrokenProcessPool):
+                failed_parts.append(np.asarray(part))
+            else:
+                raise exc
+        if failed_parts:
+            self.broken = True
+            if not results:
+                return None
+        # Shards are contiguous ascending ranges of contended_ks, so
+        # concatenating the surviving parts preserves pair order.
+        outcome = ShardOutcome(
+            ks=np.concatenate(solved_parts),
+            num_shards=len(shards),
+            failed_ks=(
+                np.concatenate(failed_parts) if failed_parts else None
+            ),
+        )
         registry = get_registry()
         for res in results:
             outcome.warm_reused += res["warm_reused"]

@@ -623,10 +623,27 @@ class MegaTEOptimizer:
                         )
                         if sharded is not None:
                             outcomes, shard_out = sharded
-                            num_sharded += len(contended_ks)
+                            num_sharded += len(shard_out.ks)
                             ssp_state_reused += shard_out.warm_reused
                             shard_timings.extend(shard_out.timings)
-                        elif shard_ctx.broken:
+                            if shard_out.failed_ks is not None:
+                                # Partial salvage: a worker died but
+                                # the other shards completed — re-solve
+                                # only the lost pairs in-process.
+                                rescued = parallel_map(
+                                    lambda k: self._solve_pair(
+                                        k,
+                                        cls_vol[seg[k] : seg[k + 1]],
+                                        site_alloc.per_pair[k],
+                                        orders[k],
+                                    ),
+                                    shard_out.failed_ks.tolist(),
+                                    workers=self.workers,
+                                )
+                                outcomes = list(outcomes) + list(
+                                    rescued
+                                )
+                        if shard_ctx is not None and shard_ctx.broken:
                             # A worker died: tear the context down and
                             # run the rest of this (and every later)
                             # solve through the in-process path.
@@ -816,6 +833,9 @@ class MegaTEOptimizer:
         )
         if shard_out is None:
             return None
+        # Only the completed shards' pairs have valid arena slots; on a
+        # partial salvage the crashed shards' pairs are in failed_ks
+        # and the caller re-solves them in-process.
         shared_assigned = shard_ctx.arena["assigned"]
         shared_placed = shard_ctx.arena["placed"]
         outcomes = [
@@ -828,7 +848,7 @@ class MegaTEOptimizer:
                     offsets[k] : offsets[k + 1]
                 ].copy(),
             )
-            for k in contended_ks
+            for k in shard_out.ks.tolist()
         ]
         return outcomes, shard_out
 

@@ -16,6 +16,7 @@ fig17           Fig. 17 production cost reductions
 database_study  §6.4 sharded TE database load
 fastssp_study   App. A.2 FastSSP accuracy & error bound
 chaos_sync      Fig. 16's shape under injected store faults
+soak_study      long-horizon multi-failure soak with SLO gates
 =============== ==============================================
 """
 
@@ -43,6 +44,13 @@ from .interval_replay import (
     run_interval_replay,
 )
 from .production import ProductionScenario, build_production_scenario
+from .soak_study import (
+    append_soak_record,
+    run_soak_study,
+    soak_config,
+    soak_config_name,
+    soak_history_record,
+)
 from .summary import CheckResult, run_all_checks
 from .sweep import SweepRecord, run_scale_sweep
 
@@ -75,4 +83,9 @@ __all__ = [
     "run_interval_replay",
     "run_all_checks",
     "CheckResult",
+    "run_soak_study",
+    "soak_config",
+    "soak_config_name",
+    "soak_history_record",
+    "append_soak_record",
 ]

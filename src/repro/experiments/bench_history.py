@@ -23,6 +23,15 @@ assumed a single config block) derive their name from the config via
 :func:`config_name_of`.  Two records claiming the same name must pin
 identical configs — that is what keeps a per-name trajectory
 comparable — and :func:`load_history` can filter to one name.
+
+Histories also interleave record *kinds*: the original perf records
+(``kind`` absent or ``"perf"``) and ``"soak"`` records appended by the
+soak study (:mod:`repro.experiments.soak_study`), which pin the SLO
+metrics of a scenario run so regressions in failure behavior are
+caught the same way perf regressions are.  :func:`record_kind_of`
+dispatches; soak records always carry an explicit ``config_name`` (the
+scenario is part of the name, keeping soak trajectories separate from
+perf ones).
 """
 
 from __future__ import annotations
@@ -34,7 +43,9 @@ __all__ = [
     "BenchHistoryError",
     "validate_history_record",
     "config_name_of",
+    "record_kind_of",
     "load_history",
+    "SLO_KEYS",
 ]
 
 #: Keys every history record must carry.
@@ -72,6 +83,35 @@ CONFIG_KEYS = (
 #: Extra per-mode summaries validated when present (records from
 #: configs that exercise them; absent on legacy records).
 OPTIONAL_MODES = ("sharded",)
+
+#: Keys every ``soak`` record must carry.
+SOAK_REQUIRED_KEYS = (
+    "timestamp",
+    "git_sha",
+    "kind",
+    "config_name",
+    "config",
+    "scenario",
+    "seed",
+    "slo",
+    "identity_digest",
+)
+
+#: SLO metrics a soak record's ``slo`` block must pin — the fields
+#: ``tools/check_slo_regression.py`` compares across the trajectory.
+SLO_KEYS = (
+    "availability",
+    "staleness_p99_s",
+    "degraded_fraction",
+    "delivered_floor",
+    "solver_phase_p99_s",
+)
+
+
+def record_kind_of(record: dict) -> str:
+    """The record's kind: ``"soak"``, or ``"perf"`` (the default)."""
+    kind = record.get("kind") if isinstance(record, dict) else None
+    return kind if isinstance(kind, str) and kind else "perf"
 
 
 def config_name_of(record: dict) -> str:
@@ -126,8 +166,61 @@ def _validate_mode(summary: object, where: str) -> None:
     )
 
 
+def _validate_soak_record(record: dict, where: str) -> None:
+    for key in SOAK_REQUIRED_KEYS:
+        _require(key in record, where, f"missing required key {key!r}")
+    for key in ("timestamp", "git_sha", "config_name", "scenario"):
+        _require(
+            isinstance(record[key], str) and record[key],
+            where,
+            f"{key} must be a non-empty string",
+        )
+    _require(
+        record["kind"] == "soak", where, 'kind must be "soak"'
+    )
+    config = record["config"]
+    _require(isinstance(config, dict), where, "config must be a dict")
+    for key in CONFIG_KEYS:
+        _require(key in config, where, f"config missing {key!r}")
+    _require(
+        isinstance(record["seed"], int)
+        and not isinstance(record["seed"], bool),
+        where,
+        "seed must be an integer",
+    )
+    slo = record["slo"]
+    _require(isinstance(slo, dict), where, "slo must be a dict")
+    for key in SLO_KEYS:
+        _require(key in slo, where, f"slo missing {key!r}")
+        value = slo[key]
+        _require(
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value >= 0,
+            where,
+            f"slo[{key!r}] must be a non-negative number",
+        )
+    _require(
+        isinstance(record["identity_digest"], str)
+        and len(record["identity_digest"]) == 64,
+        where,
+        "identity_digest must be a SHA-256 hex string",
+    )
+    if "violations" in record:
+        violations = record["violations"]
+        _require(
+            isinstance(violations, list)
+            and all(isinstance(v, str) for v in violations),
+            where,
+            "violations must be a list of strings",
+        )
+
+
 def validate_history_record(record: object, index: int | None = None) -> None:
-    """Check one history record against the schema.
+    """Check one history record against its kind's schema.
+
+    Perf records (``kind`` absent or ``"perf"``) validate against the
+    replay-bench schema; ``"soak"`` records against the SLO schema.
 
     Args:
         record: The candidate record.
@@ -139,6 +232,13 @@ def validate_history_record(record: object, index: int | None = None) -> None:
     """
     where = "history record" if index is None else f"history[{index}]"
     _require(isinstance(record, dict), where, "record must be a dict")
+    kind = record_kind_of(record)
+    if kind == "soak":
+        _validate_soak_record(record, where)
+        return
+    _require(
+        kind == "perf", where, f"unknown record kind {kind!r}"
+    )
     for key in REQUIRED_KEYS:
         _require(key in record, where, f"missing required key {key!r}")
     _require(

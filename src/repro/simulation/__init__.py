@@ -7,6 +7,20 @@ from .interval_runner import IntervalRecord, IntervalSeries, run_intervals
 from .latency import FlowLatencies, compute_flow_latencies
 from .metrics import cost_per_gbps, traffic_cost, weighted_availability
 from .replay import ReplayReport, replay_assignment
+from .soak import (
+    FlashCrowd,
+    LinkCut,
+    MaintenanceDrain,
+    ShardFailover,
+    SLOReport,
+    SLOSpec,
+    SLOViolation,
+    SoakEvent,
+    SoakReport,
+    StaleReplicaStorm,
+    run_soak,
+    scenario_events,
+)
 
 __all__ = [
     "simulate",
@@ -27,4 +41,16 @@ __all__ = [
     "IntervalSeries",
     "replay_assignment",
     "ReplayReport",
+    "run_soak",
+    "scenario_events",
+    "SoakEvent",
+    "LinkCut",
+    "FlashCrowd",
+    "MaintenanceDrain",
+    "ShardFailover",
+    "StaleReplicaStorm",
+    "SLOSpec",
+    "SLOReport",
+    "SLOViolation",
+    "SoakReport",
 ]

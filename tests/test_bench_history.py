@@ -7,9 +7,12 @@ import json
 import pytest
 
 from repro.experiments.bench_history import (
+    SLO_KEYS,
+    SOAK_REQUIRED_KEYS,
     BenchHistoryError,
     config_name_of,
     load_history,
+    record_kind_of,
     validate_history_record,
 )
 
@@ -212,6 +215,150 @@ class TestMixedConfigHistories:
             json.dumps({"history": [_valid_record(), drifted]})
         )
         with pytest.raises(BenchHistoryError, match="identical configs"):
+            load_history(path)
+
+
+def _soak_record() -> dict:
+    """A record of the ``soak`` kind (long-horizon SLO trajectory)."""
+    return {
+        "timestamp": "2026-08-06T00:00:00Z",
+        "git_sha": "abcdef123456",
+        "kind": "soak",
+        "config_name": "soak-full-mix-twan-20k-50i-s0",
+        "config": {
+            "topology_name": "twan",
+            "total_endpoints": 20_000,
+            "num_site_pairs": 60,
+            "num_intervals": 50,
+            "seed": 0,
+        },
+        "scenario": "full-mix",
+        "seed": 0,
+        "slo": {
+            "availability": 1.0,
+            "staleness_p99_s": 50.0,
+            "degraded_fraction": 0.0,
+            "delivered_floor": 0.9,
+            "solver_phase_p99_s": 0.05,
+        },
+        "violations": [],
+        "identity_digest": DIGEST,
+    }
+
+
+class TestSoakRecords:
+    def test_valid_soak_record_passes(self):
+        validate_history_record(_soak_record())
+
+    def test_record_kind_dispatch(self):
+        assert record_kind_of(_soak_record()) == "soak"
+        # Perf records predate the kind field; absent means perf.
+        assert record_kind_of(_valid_record()) == "perf"
+        assert record_kind_of({"kind": ""}) == "perf"
+
+    def test_unknown_kind_raises(self):
+        record = _valid_record()
+        record["kind"] = "mystery"
+        with pytest.raises(BenchHistoryError, match="kind"):
+            validate_history_record(record)
+
+    @pytest.mark.parametrize(
+        "key", [k for k in SOAK_REQUIRED_KEYS if k != "kind"]
+    )
+    def test_missing_soak_key_raises(self, key):
+        record = _soak_record()
+        del record[key]
+        with pytest.raises(BenchHistoryError, match=key):
+            validate_history_record(record)
+
+    def test_soak_record_without_kind_fails_as_perf(self):
+        # Dropping the kind discriminator demotes the record to the
+        # perf schema, which it cannot satisfy.
+        record = _soak_record()
+        del record["kind"]
+        assert record_kind_of(record) == "perf"
+        with pytest.raises(BenchHistoryError):
+            validate_history_record(record)
+
+    @pytest.mark.parametrize("key", SLO_KEYS)
+    def test_missing_slo_metric_raises(self, key):
+        record = _soak_record()
+        del record["slo"][key]
+        with pytest.raises(BenchHistoryError, match=key):
+            validate_history_record(record)
+
+    def test_negative_slo_metric_raises(self):
+        record = _soak_record()
+        record["slo"]["availability"] = -0.1
+        with pytest.raises(BenchHistoryError, match="availability"):
+            validate_history_record(record)
+
+    def test_bool_slo_metric_raises(self):
+        record = _soak_record()
+        record["slo"]["availability"] = True
+        with pytest.raises(BenchHistoryError, match="availability"):
+            validate_history_record(record)
+
+    def test_bad_identity_digest_raises(self):
+        record = _soak_record()
+        record["identity_digest"] = "deadbeef"
+        with pytest.raises(BenchHistoryError, match="identity_digest"):
+            validate_history_record(record)
+
+    def test_non_string_violations_raise(self):
+        record = _soak_record()
+        record["violations"] = [{"metric": "availability"}]
+        with pytest.raises(BenchHistoryError, match="violations"):
+            validate_history_record(record)
+
+    def test_soak_missing_config_key_raises(self):
+        record = _soak_record()
+        del record["config"]["seed"]
+        with pytest.raises(BenchHistoryError, match="seed"):
+            validate_history_record(record)
+
+    def test_mixed_perf_and_soak_history_loads(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "history": [
+                        _valid_record(),
+                        _soak_record(),
+                        _million_record(),
+                        _soak_record(),
+                    ]
+                }
+            )
+        )
+        history = load_history(path)
+        assert [record_kind_of(r) for r in history] == [
+            "perf", "soak", "perf", "soak",
+        ]
+        soak_only = load_history(
+            path, config_name="soak-full-mix-twan-20k-50i-s0"
+        )
+        assert len(soak_only) == 2
+
+    def test_soak_same_name_divergent_config_raises(self, tmp_path):
+        """The same-name invariant applies across kinds too."""
+        drifted = _soak_record()
+        drifted["config"]["num_site_pairs"] = 61
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps({"history": [_soak_record(), drifted]})
+        )
+        with pytest.raises(BenchHistoryError, match="identical configs"):
+            load_history(path)
+
+    def test_invalid_soak_record_rejected_in_history(self, tmp_path):
+        record = _soak_record()
+        del record["slo"]["availability"]
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps({"history": [_valid_record(), record]})
+        )
+        with pytest.raises(BenchHistoryError, match=r"history\[1\]"):
             load_history(path)
 
 

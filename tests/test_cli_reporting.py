@@ -305,10 +305,66 @@ class TestObservabilityCLI:
     def test_reporting_flags_uniform(self):
         """Every reporting subcommand exposes --seed, --json and --out."""
         parser = build_parser()
-        for command in ("replay", "chaos", "metrics", "trace"):
+        for command in ("replay", "chaos", "soak", "metrics", "trace"):
             args = parser.parse_args([command])
             for flag in ("seed", "json", "out"):
                 assert hasattr(args, flag), (command, flag)
+
+    def test_soak_json_report_and_history(self, tmp_path):
+        import json
+
+        report_path = tmp_path / "soak.json"
+        metrics_path = tmp_path / "soak.prom"
+        history_path = tmp_path / "hist.json"
+        argv = [
+            "soak", "--scenario", "link-flap",
+            "--endpoints", "2000", "--pairs", "20",
+            "--intervals", "4", "--seed", "0",
+            "--agents", "8", "--shards", "2", "--shard-workers", "0",
+            "--json", "--out", str(report_path),
+            "--metrics-out", str(metrics_path),
+            "--history", str(history_path),
+        ]
+        assert main(argv) == 0
+        report = json.loads(report_path.read_text())
+        assert report["scenario"] == "link-flap"
+        assert report["violations"] == []
+        assert len(report["records"]) == 4
+        assert "megate_soak_intervals_total" in metrics_path.read_text()
+        from repro.experiments.bench_history import load_history
+
+        history = load_history(history_path)
+        assert len(history) == 1
+        assert history[0]["kind"] == "soak"
+        assert history[0]["identity_digest"] == report["identity_digest"]
+
+    def test_soak_gate_exits_nonzero_on_violation(self, tmp_path, capsys):
+        # An impossible delivered-volume floor cannot be met; the gate
+        # must exit non-zero.  --no-gate downgrades it to a report.
+        import json
+
+        import repro.simulation.soak as soak_mod
+
+        argv = [
+            "soak", "--scenario", "baseline",
+            "--endpoints", "2000", "--pairs", "20",
+            "--intervals", "2", "--seed", "0",
+            "--agents", "4", "--shards", "2", "--shard-workers", "0",
+            "--json", "--out", str(tmp_path / "r.json"),
+        ]
+        import unittest.mock
+
+        strict = soak_mod.SLOSpec(min_delivered_floor=2.0)
+        with unittest.mock.patch.object(
+            soak_mod, "SLOSpec", lambda: strict
+        ):
+            with pytest.raises(SystemExit, match="SLO violations"):
+                main(argv)
+            assert main(argv + ["--no-gate"]) == 0
+        report = json.loads((tmp_path / "r.json").read_text())
+        assert any(
+            "delivered floor" in v for v in report["violations"]
+        )
 
 
 class TestVerifyScorecard:
