@@ -1,10 +1,12 @@
 """Interval hot-path benchmark: the control loop's per-interval cost.
 
 Replays ten diurnal intervals on the 100-site TWAN topology with the
-default synthetic trace through four solver configurations — the batched
-second stage (triage + contended FastSSP), the reference serial path,
-and the incremental engine at delta thresholds 0.0 (bit-exact) and 1.5
-(fast path live) — and records the per-phase timing breakdown
+default synthetic trace through five solver configurations — the batched
+second stage (triage + the contended FastSSP array kernel), the same
+triage with the per-pair scalar FastSSP pinned (``ssp_backend="scalar"``),
+the reference serial path, and the incremental engine at delta
+thresholds 0.0 (bit-exact) and 1.5 (fast path live) — and records the
+per-phase timing breakdown
 (``TEResult.stats["phase_s"]``) to ``BENCH_interval_solve.json`` at the
 repo root.  The artifact keeps the latest snapshot under the mode keys
 *and* appends a timestamped record (git sha, LP backend, config,
@@ -172,6 +174,20 @@ def test_interval_solve_breakdown(benchmark):
     # allocations, bit for bit, across the whole replay.
     assert batched.assignment_digest == serial.assignment_digest
 
+    # Scalar-fill leg: batched triage with the per-pair FastSSP pinned,
+    # the reference the array kernel's timings are compared against.
+    # Same digest contract; the default leg must have run the kernel.
+    scalar_fill = run_interval_replay(
+        optimizer=MegaTEOptimizer(
+            second_stage="batched", ssp_backend="scalar"
+        ),
+        **REPLAY_CONFIG,
+    )
+    assert scalar_fill.assignment_digest == batched.assignment_digest
+    assert scalar_fill.ssp_backend == "scalar"
+    assert batched.ssp_backend != "scalar"
+    assert batched.ssp_batch_phase_s
+
     # Process-sharded second stage: same contract.  At this load the
     # contended residue is small, so most intervals stay under the
     # shard cutoff — the digest must match either way.
@@ -220,11 +236,19 @@ def test_interval_solve_breakdown(benchmark):
         f"({batched.num_flows:,} flows/interval)"
     )
     print(
-        f"  batched: stage1 {batched.stage1_lp_s:.3f}s + "
+        f"  batched ({batched.ssp_backend} kernel): "
+        f"stage1 {batched.stage1_lp_s:.3f}s + "
         f"stage2 {batched.stage2_ssp_s:.3f}s = {solver_s:.3f}s "
         f"({batched.num_uncontended_pairs} uncontended / "
         f"{batched.num_contended_pairs} contended pair solves)"
     )
+    print(
+        f"  scalar fill: contended_ssp "
+        f"{scalar_fill.phase_s['contended_ssp'] * 1e3:.1f} ms vs batched "
+        f"{batched.phase_s['contended_ssp'] * 1e3:.1f} ms"
+    )
+    for phase, seconds in batched.ssp_batch_phase_s.items():
+        print(f"  kernel {phase:<16s} {seconds * 1e3:8.1f} ms")
     print(
         f"  serial:  stage1 {serial.stage1_lp_s:.3f}s + "
         f"stage2 {serial.stage2_ssp_s:.3f}s = {serial_solver_s:.3f}s"
@@ -268,6 +292,10 @@ def test_interval_solve_breakdown(benchmark):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_sha": _git_sha(),
         "backend": batched.backend,
+        # Top-level (not in config) so same-name records stay
+        # byte-comparable across the kernel migration; baseline
+        # selection filters on it (bench_history.ssp_backend_of).
+        "ssp_backend": batched.ssp_backend,
         "config_name": "twan-20k",
         "config": {
             **REPLAY_CONFIG,
@@ -275,6 +303,7 @@ def test_interval_solve_breakdown(benchmark):
         },
         "batched": batched.as_dict(),
         "serial": serial.as_dict(),
+        "scalar_fill": scalar_fill.as_dict(),
         "incremental": incremental.as_dict(),
         "incremental_exact": inc_exact.as_dict(),
         "sharded": sharded.as_dict(),
@@ -304,6 +333,7 @@ def test_interval_solve_breakdown(benchmark):
 
     benchmark.extra_info["stage1_lp_s"] = batched.stage1_lp_s
     benchmark.extra_info["stage2_ssp_s"] = batched.stage2_ssp_s
+    benchmark.extra_info["ssp_backend"] = batched.ssp_backend
     benchmark.extra_info["phase_s"] = dict(batched.phase_s)
     benchmark.extra_info["assignment_digest"] = batched.assignment_digest
     benchmark.extra_info["incremental_speedup"] = solver_s / inc_solver_s

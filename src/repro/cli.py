@@ -377,6 +377,7 @@ def _cmd_replay(args) -> None:
         seed=args.seed,
         delta_threshold=args.delta_threshold,
         lp_backend=args.lp_backend,
+        ssp_backend=args.ssp_backend,
     )
     _write_replay_telemetry(args)
     if args.json:
@@ -388,7 +389,8 @@ def _cmd_replay(args) -> None:
         f"({args.topology}, {cold['num_flows']} flows, "
         f"{args.intervals} intervals, "
         f"delta threshold {args.delta_threshold}, "
-        f"backend {inc['backend']}):",
+        f"backend {inc['backend']}, "
+        f"ssp {inc['ssp_backend']}):",
         render_table(
             ["mode", "stage1_lp_s", "stage2_ssp_s", "lp_solves",
              "patched", "ssp_reused", "satisfied"],
@@ -447,6 +449,7 @@ def _cmd_replay_sharded(args) -> None:
         seed=args.seed,
         shard_workers=spec if spec == "auto" else int(spec),
         lp_backend=args.lp_backend,
+        ssp_backend=args.ssp_backend,
     )
     _write_replay_telemetry(args)
     if args.json:
@@ -845,6 +848,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare the in-process replay against the process-"
              "parallel sharded second stage with N worker processes "
              "(or 'auto'); exits non-zero if their digests diverge",
+    )
+    p.add_argument(
+        "--ssp-backend",
+        choices=["scalar", "numpy", "torch", "cupy", "auto"],
+        default=None,
+        help="FastSSP kernel for the contended second stage (default: "
+             "REPRO_SSP_BACKEND env or numpy; 'scalar' keeps the "
+             "per-pair reference path; torch/cupy fall back to numpy "
+             "with a warning when unavailable)",
     )
     p.add_argument(
         "--trace-out", default=None, metavar="FILE",

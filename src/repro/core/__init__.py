@@ -8,6 +8,16 @@ from .batch import (
 )
 from .exact import ExactSolution, solve_max_all_flow
 from .fastssp import FastSSPResult, fast_ssp
+from .fastssp_batch import (
+    SSP_BACKEND_ENV,
+    SSP_BACKEND_NAMES,
+    BatchedSSPResult,
+    cupy_available,
+    fast_ssp_batch,
+    fill_pairs_batch,
+    resolve_ssp_backend_name,
+    torch_available,
+)
 from .flowtable import FlowTable, PairViews, csr_offsets, pair_views
 from .formulation import MaxAllFlowProblem
 from .incremental import IncrementalConfig, IncrementalState
@@ -16,7 +26,7 @@ from .lp_backend import (
     highspy_available,
     resolve_backend_name,
 )
-from .pairfill import fill_pair, fill_pair_warm_or_cold
+from .pairfill import fill_pair, fill_pair_warm_or_cold, fill_pairs
 from .parallel import WORKERS_ENV, parallel_map, resolve_workers
 from .qos import PRIORITY_ORDER, QoSClass
 from .sharded import (
@@ -78,6 +88,15 @@ __all__ = [
     "WORKERS_ENV",
     "fill_pair",
     "fill_pair_warm_or_cold",
+    "fill_pairs",
+    "SSP_BACKEND_ENV",
+    "SSP_BACKEND_NAMES",
+    "BatchedSSPResult",
+    "fast_ssp_batch",
+    "fill_pairs_batch",
+    "resolve_ssp_backend_name",
+    "torch_available",
+    "cupy_available",
     "SHARD_WORKERS_ENV",
     "ShardContext",
     "ShardedConfig",

@@ -50,9 +50,12 @@ class BatchSSPInstance:
     epsilon: float = 0.1
 
 
+_EMPTY_SELECTION = np.empty(0, dtype=np.int64)
+
+
 def _empty_result(capacity: float) -> FastSSPResult:
     return FastSSPResult(
-        selected=(),
+        selected_array=_EMPTY_SELECTION,
         total=0.0,
         capacity=float(max(capacity, 0.0)),
         num_clusters=0,
@@ -64,7 +67,7 @@ def _empty_result(capacity: float) -> FastSSPResult:
 
 def _select_all_result(size: int, total: float, capacity: float) -> FastSSPResult:
     return FastSSPResult(
-        selected=tuple(range(size)),
+        selected_array=np.arange(size, dtype=np.int64),
         total=float(total),
         capacity=float(capacity),
         num_clusters=0,
@@ -157,25 +160,64 @@ def triage_ssp_segments(
 
 def solve_ssp_batch(
     instances: list[BatchSSPInstance],
+    backend: str | None = None,
 ) -> list[FastSSPResult]:
     """Solve a batch of FastSSP instances.
 
     Fast paths are resolved vectorized across the batch via
-    :func:`triage_ssp_batch`; only genuinely contended instances run the
-    full four-step FastSSP.
+    :func:`triage_ssp_batch`.  The contended residue runs through the
+    array-batched kernel (:func:`repro.core.fastssp_batch.
+    fast_ssp_batch`, grouped by epsilon) unless ``backend`` resolves to
+    ``"scalar"``, which keeps the per-instance reference path.
+
+    Args:
+        instances: The batch.
+        backend: SSP backend name (``None`` consults
+            ``REPRO_SSP_BACKEND``; see :func:`repro.core.fastssp_batch.
+            resolve_ssp_backend_name`).
 
     Returns:
         One :class:`FastSSPResult` per instance, in input order,
         identical to per-instance :func:`fast_ssp` calls.
     """
+    from .fastssp_batch import fast_ssp_batch, resolve_ssp_backend_name
+
     results, contended = triage_ssp_batch(instances)
-    for idx in contended:
-        inst = instances[idx]
-        results[idx] = fast_ssp(
-            np.asarray(inst.values, dtype=np.float64),
-            inst.capacity,
-            epsilon=inst.epsilon,
-        )
+    if contended.size and resolve_ssp_backend_name(backend) != "scalar":
+        by_epsilon: dict[float, list[int]] = {}
+        for idx in contended.tolist():
+            by_epsilon.setdefault(float(instances[idx].epsilon), []).append(
+                idx
+            )
+        for epsilon, idxs in by_epsilon.items():
+            arrays = [
+                np.asarray(instances[i].values, dtype=np.float64)
+                for i in idxs
+            ]
+            offsets = np.concatenate(
+                ([0], np.cumsum([a.size for a in arrays]))
+            ).astype(np.int64)
+            flat = (
+                np.concatenate(arrays)
+                if offsets[-1]
+                else np.empty(0, dtype=np.float64)
+            )
+            caps = np.asarray(
+                [instances[i].capacity for i in idxs], dtype=np.float64
+            )
+            batched = fast_ssp_batch(
+                flat, offsets, caps, epsilon=epsilon, backend=backend
+            )
+            for j, i in enumerate(idxs):
+                results[i] = batched.result(j)
+    else:
+        for idx in contended:
+            inst = instances[idx]
+            results[idx] = fast_ssp(
+                np.asarray(inst.values, dtype=np.float64),
+                inst.capacity,
+                epsilon=inst.epsilon,
+            )
     if any(r is None for r in results):  # pragma: no cover - defensive
         raise RuntimeError("batch left unsolved instances")
     return results  # type: ignore[return-value]

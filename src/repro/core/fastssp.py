@@ -20,21 +20,27 @@ Total cost ``O(m⌊F/δ⌋ + |I_k| log |I_k|)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from .ssp import dp_ssp, greedy_ssp
 
 __all__ = ["FastSSPResult", "fast_ssp"]
 
+_EMPTY_SELECTION = np.empty(0, dtype=np.int64)
 
-@dataclass(frozen=True)
+
 class FastSSPResult:
     """Outcome of one FastSSP solve.
 
+    The selection is stored array-native (``selected_array``) so hot
+    callers index demand arrays without a tuple round-trip; ``selected``
+    stays available as a lazily materialized tuple for existing
+    consumers.  Either form may be passed at construction — the other is
+    derived on first access.
+
     Attributes:
-        selected: Indices of demands allocated (ascending).
+        selected: Indices of demands allocated (ascending), as a tuple.
+        selected_array: The same indices as an int64 ndarray.
         total: Total allocated volume (``≤ capacity``).
         capacity: The capacity ``F_{k,t}`` solved against.
         num_clusters: ``m``, clusters formed in step 1.
@@ -44,18 +50,83 @@ class FastSSPResult:
             gap to a full allocation (0 when everything fit or F == 0).
     """
 
-    selected: tuple[int, ...]
-    total: float
-    capacity: float
-    num_clusters: int
-    dp_selected_volume: float
-    greedy_selected_volume: float
-    error_bound: float
+    __slots__ = (
+        "_selected",
+        "_selected_array",
+        "total",
+        "capacity",
+        "num_clusters",
+        "dp_selected_volume",
+        "greedy_selected_volume",
+        "error_bound",
+    )
+
+    def __init__(
+        self,
+        selected: tuple[int, ...] | None = None,
+        total: float = 0.0,
+        capacity: float = 0.0,
+        num_clusters: int = 0,
+        dp_selected_volume: float = 0.0,
+        greedy_selected_volume: float = 0.0,
+        error_bound: float = 0.0,
+        *,
+        selected_array: np.ndarray | None = None,
+    ) -> None:
+        if selected is None and selected_array is None:
+            raise TypeError(
+                "FastSSPResult needs selected or selected_array"
+            )
+        self._selected = tuple(selected) if selected is not None else None
+        self._selected_array = selected_array
+        self.total = total
+        self.capacity = capacity
+        self.num_clusters = num_clusters
+        self.dp_selected_volume = dp_selected_volume
+        self.greedy_selected_volume = greedy_selected_volume
+        self.error_bound = error_bound
+
+    @property
+    def selected(self) -> tuple[int, ...]:
+        if self._selected is None:
+            self._selected = tuple(self._selected_array.tolist())
+        return self._selected
+
+    @property
+    def selected_array(self) -> np.ndarray:
+        if self._selected_array is None:
+            self._selected_array = (
+                np.asarray(self._selected, dtype=np.int64)
+                if self._selected
+                else _EMPTY_SELECTION
+            )
+        return self._selected_array
 
     @property
     def utilization(self) -> float:
         """Fraction of capacity filled."""
         return self.total / self.capacity if self.capacity > 0 else 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FastSSPResult):
+            return NotImplemented
+        return (
+            self.selected == other.selected
+            and self.total == other.total
+            and self.capacity == other.capacity
+            and self.num_clusters == other.num_clusters
+            and self.dp_selected_volume == other.dp_selected_volume
+            and self.greedy_selected_volume == other.greedy_selected_volume
+            and self.error_bound == other.error_bound
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FastSSPResult(num_selected={self.selected_array.size}, "
+            f"total={self.total!r}, capacity={self.capacity!r}, "
+            f"num_clusters={self.num_clusters}, "
+            f"error_bound={self.error_bound!r})"
+        )
 
 
 def _cluster(
@@ -106,7 +177,7 @@ def fast_ssp(
         raise ValueError("epsilon must be in (0, 1)")
     if capacity <= 0 or vals.size == 0:
         return FastSSPResult(
-            selected=(),
+            selected_array=_EMPTY_SELECTION,
             total=0.0,
             capacity=float(max(capacity, 0.0)),
             num_clusters=0,
@@ -119,7 +190,7 @@ def fast_ssp(
     grand_total = float(vals.sum())
     if grand_total <= capacity:
         return FastSSPResult(
-            selected=tuple(range(vals.size)),
+            selected_array=np.arange(vals.size, dtype=np.int64),
             total=grand_total,
             capacity=float(capacity),
             num_clusters=0,
@@ -186,7 +257,9 @@ def fast_ssp(
     else:
         error_bound = 0.0
     return FastSSPResult(
-        selected=tuple(np.flatnonzero(selected_mask).tolist()),
+        selected_array=np.flatnonzero(selected_mask).astype(
+            np.int64, copy=False
+        ),
         total=total,
         capacity=float(capacity),
         num_clusters=len(clusters),

@@ -33,6 +33,7 @@ preserved, optimality is approximate within the guards above.
 from __future__ import annotations
 
 import weakref
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -325,18 +326,34 @@ def reconcile_leftovers(
     no single remaining flow fit *at the time*; a final
     first-fit-decreasing pass packs what still fits.  Mutates
     ``assigned``, ``placed`` and ``leftovers`` in place.
+
+    A flow larger than every tunnel's leftover changes no state, so the
+    descending scan jumps over such runs with a binary search (exactly
+    the skip-ahead the batched greedy kernel uses) — at overloaded
+    million-endpoint scale almost every free flow is such a skip.
     """
     free = np.flatnonzero(assigned == UNASSIGNED)
     if free.size == 0 or not np.any(leftovers > 0):
         return
-    for i in free[np.argsort(-volumes[free], kind="stable")]:
-        volume = volumes[i]
+    order = free[np.argsort(-volumes[free], kind="stable")]
+    vals = volumes[order].tolist()
+    neg = [-v for v in vals]  # ascending, for bisect
+    n = len(vals)
+    lmax = float(leftovers[fill_order].max()) if fill_order.size else 0.0
+    j = 0
+    while j < n:
+        volume = vals[j]
+        if volume > lmax:
+            j = bisect_left(neg, -lmax, lo=j + 1)
+            continue
         for t_index in fill_order:
             if volume <= leftovers[t_index]:
-                assigned[i] = t_index
+                assigned[order[j]] = t_index
                 placed[t_index] += volume
                 leftovers[t_index] -= volume
+                lmax = float(leftovers[fill_order].max())
                 break
+        j += 1
 
 
 def warm_fill_pair(

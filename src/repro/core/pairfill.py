@@ -22,7 +22,7 @@ from .fastssp import fast_ssp
 from .incremental import reconcile_leftovers, warm_fill_pair
 from .types import UNASSIGNED
 
-__all__ = ["fill_pair", "fill_pair_warm_or_cold"]
+__all__ = ["fill_pair", "fill_pair_warm_or_cold", "fill_pairs"]
 
 
 def fill_pair(
@@ -48,17 +48,23 @@ def fill_pair(
     placed = np.zeros(alloc_k.size, dtype=np.float64)
     if volumes.size == 0 or alloc_k.size == 0:
         return assigned, placed
+    # Shrinking free-index array: each tunnel removes what it selected
+    # instead of rescanning every flow's assignment per tunnel.
+    free = np.arange(volumes.size, dtype=np.int64)
     for t_index in fill_order:
         capacity = alloc_k[t_index]
         if capacity <= 0:
             continue
-        free = np.flatnonzero(assigned == UNASSIGNED)
         if free.size == 0:
             break
         result = fast_ssp(volumes[free], capacity, epsilon=epsilon)
-        chosen = free[np.asarray(result.selected, dtype=np.int64)]
-        assigned[chosen] = t_index
+        sel = result.selected_array
+        assigned[free[sel]] = t_index
         placed[t_index] = result.total
+        if sel.size:
+            keep = np.ones(free.size, dtype=bool)
+            keep[sel] = False
+            free = free[keep]
     # Reconciliation pass: FastSSP may leave slack on several tunnels
     # that no single remaining flow fit at the time; retry the largest
     # leftover flows against each tunnel's remaining allocation.
@@ -89,3 +95,78 @@ def fill_pair_warm_or_cold(
             return warm[0], warm[1], True
     assigned, placed = fill_pair(volumes, alloc_k, fill_order, epsilon)
     return assigned, placed, False
+
+
+def fill_pairs(
+    pair_volumes: list[np.ndarray],
+    pair_allocs: list[np.ndarray],
+    pair_orders: list[np.ndarray],
+    epsilon: float,
+    prev_assigned: list[np.ndarray | None] | None = None,
+    ssp_backend: str | None = None,
+    phase_out: dict[str, float] | None = None,
+) -> list[tuple[np.ndarray, np.ndarray, bool]]:
+    """Fill many site pairs: warm starts per pair, cold fills batched.
+
+    The batched counterpart of :func:`fill_pair_warm_or_cold` — every
+    pair whose carried assignment passes the warm gate reuses it, and
+    the remaining cold pairs run through the array-batched FastSSP
+    kernel (:func:`repro.core.fastssp_batch.fill_pairs_batch`) as one
+    padded array program per fill-order step.  Used by the in-process
+    dispatch and the shard workers so neither can drift from the other.
+
+    Args:
+        pair_volumes / pair_allocs / pair_orders: Per-pair ``fill_pair``
+            arguments, in pair order.
+        epsilon: FastSSP precision knob.
+        prev_assigned: Optional carried assignment per pair (``None``
+            entries, or ``None`` overall, force a cold solve).
+        ssp_backend: Batched-kernel backend name (``"scalar"`` routes
+            cold pairs through the per-pair reference path).
+        phase_out: Optional dict accumulating batched-kernel per-phase
+            seconds.
+
+    Returns:
+        One ``(assigned, placed_per_tunnel, warm)`` tuple per pair.
+    """
+    from .fastssp_batch import fill_pairs_batch, resolve_ssp_backend_name
+
+    num = len(pair_volumes)
+    out: list[tuple[np.ndarray, np.ndarray, bool] | None] = [None] * num
+    cold: list[int] = []
+    for p in range(num):
+        prev = prev_assigned[p] if prev_assigned is not None else None
+        if prev is not None:
+            warm = warm_fill_pair(
+                pair_volumes[p],
+                pair_allocs[p],
+                pair_orders[p],
+                prev,
+                epsilon,
+            )
+            if warm is not None:
+                out[p] = (warm[0], warm[1], True)
+                continue
+        cold.append(p)
+    if cold:
+        if resolve_ssp_backend_name(ssp_backend) == "scalar":
+            for p in cold:
+                assigned, placed = fill_pair(
+                    pair_volumes[p],
+                    pair_allocs[p],
+                    pair_orders[p],
+                    epsilon,
+                )
+                out[p] = (assigned, placed, False)
+        else:
+            filled = fill_pairs_batch(
+                [pair_volumes[p] for p in cold],
+                [pair_allocs[p] for p in cold],
+                [pair_orders[p] for p in cold],
+                epsilon=epsilon,
+                backend=ssp_backend,
+                phase_out=phase_out,
+            )
+            for j, p in enumerate(cold):
+                out[p] = (filled[j][0], filled[j][1], False)
+    return out  # type: ignore[return-value]

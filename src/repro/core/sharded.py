@@ -353,16 +353,19 @@ def _worker_solve_range(
     epsilon: float,
     ks: tuple[int, ...],
     warm_enabled: bool,
+    ssp_backend: str = "scalar",
 ) -> dict:
     """Solve one contiguous range of contended site pairs in-place.
 
     Reads the class segment of every pair straight from the shared CSR
-    columns, runs the shared per-pair fill, and writes the results back
-    into the shared ``assigned`` (per flow) and ``placed`` (per tunnel)
-    columns — both writes land in segments owned exclusively by this
-    shard's pairs, so no synchronization is needed.
+    columns, runs the shared batch fill (warm reuse per pair, cold pairs
+    through the array-batched FastSSP kernel unless ``ssp_backend`` is
+    ``"scalar"``), and writes the results back into the shared
+    ``assigned`` (per flow) and ``placed`` (per tunnel) columns — both
+    writes land in segments owned exclusively by this shard's pairs, so
+    no synchronization is needed.
     """
-    from .pairfill import fill_pair_warm_or_cold
+    from .pairfill import fill_pairs
 
     if os.environ.get(SHARD_FAILPOINT_ENV) == str(shard_index):
         os._exit(1)  # injected worker crash (see SHARD_FAILPOINT_ENV)
@@ -381,34 +384,48 @@ def _worker_solve_range(
     placed = arena["placed"]
     ordered_cols = arena[f"ordered_cols:{attribute}"]
 
-    fill_s = 0.0
-    write_s = 0.0
-    warm_reused = 0
+    pair_vols: list[np.ndarray] = []
+    pair_allocs: list[np.ndarray] = []
+    pair_orders: list[np.ndarray] = []
+    pair_prev: list[np.ndarray | None] = []
+    pair_gidx: list[np.ndarray] = []
+    pair_cols: list[tuple[int, int]] = []
     for k in ks:
         lo, hi = int(d_offsets[k]), int(d_offsets[k + 1])
         mask = qos[lo:hi] == qos_value
         gidx = lo + np.flatnonzero(mask)
-        vols = volumes[lo:hi][mask]
         o0, o1 = int(t_offsets[k]), int(t_offsets[k + 1])
-        alloc_k = alloc[o0:o1]
-        fill_order = ordered_cols[o0:o1] - o0
-        prev = (
+        pair_vols.append(volumes[lo:hi][mask])
+        pair_allocs.append(alloc[o0:o1])
+        pair_orders.append(ordered_cols[o0:o1] - o0)
+        pair_prev.append(
             prev_col[gidx]
             if warm_enabled and prev_flag[k]
             else None
         )
-        t0 = monotonic()
-        assigned_k, placed_k, warm = fill_pair_warm_or_cold(
-            vols, alloc_k, fill_order, epsilon, prev
-        )
-        t1 = monotonic()
-        assigned[gidx] = assigned_k
+        pair_gidx.append(gidx)
+        pair_cols.append((o0, o1))
+
+    t0 = monotonic()
+    filled = fill_pairs(
+        pair_vols,
+        pair_allocs,
+        pair_orders,
+        epsilon,
+        prev_assigned=pair_prev,
+        ssp_backend=ssp_backend,
+    )
+    t1 = monotonic()
+    warm_reused = 0
+    for j in range(len(ks)):
+        assigned_k, placed_k, warm = filled[j]
+        assigned[pair_gidx[j]] = assigned_k
+        o0, o1 = pair_cols[j]
         placed[o0:o1] = placed_k
-        t2 = monotonic()
-        fill_s += t1 - t0
-        write_s += t2 - t1
         if warm:
             warm_reused += 1
+    fill_s = t1 - t0
+    write_s = monotonic() - t1
 
     total_s = monotonic() - t_start
     snapshot = None
@@ -585,6 +602,7 @@ class ShardContext:
         pair_weights: np.ndarray,
         alloc_flat: np.ndarray,
         warm_prev: dict[int, np.ndarray] | None = None,
+        ssp_backend: str = "scalar",
     ) -> ShardOutcome | None:
         """Dispatch one class's contended residue to the shard workers.
 
@@ -640,6 +658,7 @@ class ShardContext:
                         epsilon,
                         tuple(int(k) for k in part),
                         warm_enabled,
+                        ssp_backend,
                     )
                     for i, part in enumerate(shards)
                 ]

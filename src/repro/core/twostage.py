@@ -65,6 +65,7 @@ from .incremental import (
     patch_class_allocation,
     warm_fill_pair,
 )
+from .fastssp_batch import fill_pairs_batch, resolve_ssp_backend_name
 from .lp_backend import resolve_backend_name
 from .pairfill import fill_pair
 from .parallel import parallel_map
@@ -185,6 +186,18 @@ class MegaTEOptimizer:
             on every setting.  Sharding allocates a shared-memory arena
             and a worker pool — call :meth:`close` (or use the
             optimizer as a context manager) to release them.
+        ssp_backend: FastSSP kernel for the contended second stage
+            (:mod:`repro.core.fastssp_batch`): ``"numpy"`` (the default)
+            batches every cold contended pair of a fill-order step into
+            one padded array program, ``"torch"``/``"cupy"`` offload its
+            DP and greedy sweeps (auto-falling back to numpy with a
+            ``RuntimeWarning`` when the wheel or device is absent),
+            ``"auto"`` picks the best available, and ``"scalar"`` keeps
+            the per-pair reference path.  ``None`` consults
+            ``REPRO_SSP_BACKEND``.  Every backend is bit-identical
+            (property-tested); only the batched second stage dispatches
+            to the kernel — ``second_stage="serial"`` always runs the
+            scalar reference.
     """
 
     scheme_name = "MegaTE"
@@ -210,6 +223,7 @@ class MegaTEOptimizer:
         refresh_every: int = 0,
         lp_backend: str | None = None,
         shard_workers: int | str | ShardedConfig | None = None,
+        ssp_backend: str | None = None,
     ) -> None:
         if not 0 < fastssp_epsilon < 1:
             raise ValueError("fastssp_epsilon must be in (0, 1)")
@@ -239,6 +253,7 @@ class MegaTEOptimizer:
             self.incremental = None
         self.lp_backend = lp_backend
         self.shard_workers = shard_workers
+        self.ssp_backend = ssp_backend
         self._state: IncrementalState | None = None
         self._shard_ctx: ShardContext | None = None
         self._shard_disabled = False
@@ -446,6 +461,14 @@ class MegaTEOptimizer:
         pairs_delta_patched = 0
         ssp_state_reused = 0
         backend_used: str | None = None
+        # SSP kernel backend, resolved per solve (env consulted like the
+        # LP backend's).  The serial reference stage never batches.
+        ssp_backend_used = (
+            resolve_ssp_backend_name(self.ssp_backend)
+            if self.second_stage == "batched"
+            else "scalar"
+        )
+        ssp_batch_phase: dict[str, float] = {}
 
         for qos in self.qos_order:
             # SiteMerge, columnar: one mask over the flat qos column gives
@@ -620,6 +643,7 @@ class MegaTEOptimizer:
                             offsets,
                             alloc_flat,
                             state if warm_active else None,
+                            ssp_backend=ssp_backend_used,
                         )
                         if sharded is not None:
                             outcomes, shard_out = sharded
@@ -680,16 +704,48 @@ class MegaTEOptimizer:
                                         )
                                     )
                             contended_ks = cold_ks
-                        outcomes = parallel_map(
-                            lambda k: self._solve_pair(
-                                k,
-                                cls_vol[seg[k] : seg[k + 1]],
-                                site_alloc.per_pair[k],
-                                orders[k],
-                            ),
-                            contended_ks,
-                            workers=self.workers,
-                        )
+                        if (
+                            ssp_backend_used != "scalar"
+                            and contended_ks
+                        ):
+                            # All cold contended pairs of this class run
+                            # through the array-batched kernel: one
+                            # padded array program per fill-order step
+                            # instead of len(contended_ks) scalar solves
+                            # (bit-identical, property-tested).
+                            filled = fill_pairs_batch(
+                                [
+                                    cls_vol[seg[k] : seg[k + 1]]
+                                    for k in contended_ks
+                                ],
+                                [
+                                    site_alloc.per_pair[k]
+                                    for k in contended_ks
+                                ],
+                                [orders[k] for k in contended_ks],
+                                epsilon=self.fastssp_epsilon,
+                                backend=ssp_backend_used,
+                                phase_out=ssp_batch_phase,
+                            )
+                            outcomes = [
+                                _PairOutcome(
+                                    k=k,
+                                    assigned_tunnel=filled[j][0],
+                                    placed_per_tunnel=filled[j][1],
+                                )
+                                for j, k in enumerate(contended_ks)
+                            ]
+                        else:
+                            outcomes = parallel_map(
+                                lambda k: self._solve_pair(
+                                    k,
+                                    cls_vol[seg[k] : seg[k + 1]],
+                                    site_alloc.per_pair[k],
+                                    orders[k],
+                                ),
+                                contended_ks,
+                                workers=self.workers,
+                            )
                         if warm_outcomes:
                             ssp_state_reused += len(warm_outcomes)
                             outcomes = list(outcomes) + warm_outcomes
@@ -786,6 +842,8 @@ class MegaTEOptimizer:
                 ),
                 StatKey.NUM_SHARDED_PAIRS: num_sharded,
                 StatKey.SHARD_TIMINGS: shard_timings,
+                StatKey.SSP_BACKEND: ssp_backend_used,
+                StatKey.SSP_BATCH_PHASE_S: ssp_batch_phase,
             },
         )
 
@@ -800,6 +858,7 @@ class MegaTEOptimizer:
         offsets: np.ndarray,
         alloc_flat: np.ndarray,
         state: IncrementalState | None,
+        ssp_backend: str = "scalar",
     ) -> "tuple[list[_PairOutcome], object] | None":
         """Dispatch one class's contended residue to the shard workers.
 
@@ -830,6 +889,7 @@ class MegaTEOptimizer:
             weights,
             alloc_flat,
             warm_prev,
+            ssp_backend=ssp_backend,
         )
         if shard_out is None:
             return None

@@ -63,6 +63,8 @@ class StatKey:
     SHARD_WORKERS = "shard_workers"
     NUM_SHARDED_PAIRS = "num_sharded_pairs"
     SHARD_TIMINGS = "shard_timings"
+    SSP_BACKEND = "ssp_backend"
+    SSP_BATCH_PHASE_S = "ssp_batch_phase_s"
 
     # Phases of the ``phase_s`` breakdown.
     PHASE_MATRIX_BUILD = "matrix_build"

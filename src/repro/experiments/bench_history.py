@@ -44,6 +44,7 @@ __all__ = [
     "validate_history_record",
     "config_name_of",
     "record_kind_of",
+    "ssp_backend_of",
     "load_history",
     "SLO_KEYS",
 ]
@@ -82,7 +83,7 @@ CONFIG_KEYS = (
 
 #: Extra per-mode summaries validated when present (records from
 #: configs that exercise them; absent on legacy records).
-OPTIONAL_MODES = ("sharded",)
+OPTIONAL_MODES = ("sharded", "scalar_fill")
 
 #: Keys every ``soak`` record must carry.
 SOAK_REQUIRED_KEYS = (
@@ -112,6 +113,20 @@ def record_kind_of(record: dict) -> str:
     """The record's kind: ``"soak"``, or ``"perf"`` (the default)."""
     kind = record.get("kind") if isinstance(record, dict) else None
     return kind if isinstance(kind, str) and kind else "perf"
+
+
+def ssp_backend_of(record: dict) -> str:
+    """The record's FastSSP kernel backend.
+
+    New perf records carry an explicit top-level ``ssp_backend`` (kept
+    out of ``config`` so same-name records stay byte-comparable across
+    the backend migration); records written before the batched kernel
+    existed ran the per-pair scalar path.  Baseline selection filters on
+    this so scalar and batched timings never mix in one trajectory
+    comparison.
+    """
+    backend = record.get("ssp_backend") if isinstance(record, dict) else None
+    return backend if isinstance(backend, str) and backend else "scalar"
 
 
 def config_name_of(record: dict) -> str:
@@ -214,6 +229,13 @@ def _validate_soak_record(record: dict, where: str) -> None:
             where,
             "violations must be a list of strings",
         )
+    if "ssp_backend" in record:
+        _require(
+            isinstance(record["ssp_backend"], str)
+            and bool(record["ssp_backend"]),
+            where,
+            "ssp_backend must be a non-empty string",
+        )
 
 
 def validate_history_record(record: object, index: int | None = None) -> None:
@@ -266,6 +288,13 @@ def validate_history_record(record: object, index: int | None = None) -> None:
             and bool(record["config_name"]),
             where,
             "config_name must be a non-empty string",
+        )
+    if "ssp_backend" in record:
+        _require(
+            isinstance(record["ssp_backend"], str)
+            and bool(record["ssp_backend"]),
+            where,
+            "ssp_backend must be a non-empty string",
         )
     realization = record["realization_s"]
     _require(

@@ -81,6 +81,13 @@ class IntervalReplayReport:
         shard_timings: Per-shard-task timing dicts (``shard``, ``pid``,
             ``pairs``, ``seconds``, ``phase_s``) from the workers'
             merged telemetry, in dispatch order.
+        ssp_backend: FastSSP kernel of the second stage (``"scalar"``
+            for the per-pair reference path, ``"numpy"``/``"torch"``/
+            ``"cupy"`` for the array-batched kernel); constant across a
+            replay.
+        ssp_batch_phase_s: Summed batched-kernel phase breakdown (keys
+            of :data:`repro.core.fastssp_batch.SSP_PHASE_KEYS`); empty
+            when the scalar path ran.
     """
 
     topology: str
@@ -105,6 +112,8 @@ class IntervalReplayReport:
     shard_workers: int = 0
     num_sharded_pairs: int = 0
     shard_timings: list[dict] = field(default_factory=list)
+    ssp_backend: str = "scalar"
+    ssp_batch_phase_s: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-serializable view for benchmark artifacts."""
@@ -129,6 +138,8 @@ class IntervalReplayReport:
             "shard_workers": self.shard_workers,
             "num_sharded_pairs": self.num_sharded_pairs,
             "shard_timings": list(self.shard_timings),
+            "ssp_backend": self.ssp_backend,
+            "ssp_batch_phase_s": dict(self.ssp_batch_phase_s),
         }
 
 
@@ -198,6 +209,15 @@ def replay_intervals(
             StatKey.NUM_SHARDED_PAIRS, 0
         )
         report.shard_timings.extend(stats.get(StatKey.SHARD_TIMINGS, ()))
+        report.ssp_backend = stats.get(
+            StatKey.SSP_BACKEND, report.ssp_backend
+        )
+        for key, seconds in stats.get(
+            StatKey.SSP_BATCH_PHASE_S, {}
+        ).items():
+            report.ssp_batch_phase_s[key] = (
+                report.ssp_batch_phase_s.get(key, 0.0) + seconds
+            )
         for arr in result.assignment.per_pair:
             digest.update(arr.tobytes())
     report.assignment_digest = digest.hexdigest()
@@ -218,15 +238,17 @@ def run_interval_replay(
     num_intervals: int = 10,
     optimizer: MegaTEOptimizer | None = None,
     shard_workers: int | str | None = None,
+    ssp_backend: str | None = None,
 ) -> IntervalReplayReport:
     """Build the standard replay scenario and run it.
 
     Defaults reproduce the benchmark configuration: the 100-site TWAN
     topology with the default synthetic trace, diurnally modulated over
-    ten intervals.  ``shard_workers`` (ignored when an ``optimizer`` is
-    supplied) runs the replay through the process-parallel sharded
-    second stage, whose assignments are bit-identical to the default
-    path.
+    ten intervals.  ``shard_workers`` and ``ssp_backend`` (both ignored
+    when an ``optimizer`` is supplied) run the replay through the
+    process-parallel sharded second stage and/or a specific FastSSP
+    kernel backend; every combination produces assignments bit-identical
+    to the default path.
     """
     scenario = build_scenario(
         topology_name,
@@ -236,8 +258,12 @@ def run_interval_replay(
         seed=seed,
     )
     sequence = DiurnalSequence(base=scenario.demands, seed=sequence_seed)
-    if optimizer is None and shard_workers is not None:
-        with MegaTEOptimizer(shard_workers=shard_workers) as opt:
+    if optimizer is None and (
+        shard_workers is not None or ssp_backend is not None
+    ):
+        with MegaTEOptimizer(
+            shard_workers=shard_workers, ssp_backend=ssp_backend
+        ) as opt:
             return replay_intervals(
                 scenario.topology,
                 sequence,
@@ -264,6 +290,7 @@ def run_sharded_replay(
     num_intervals: int = 10,
     shard_workers: int | str = 2,
     lp_backend: str | None = None,
+    ssp_backend: str | None = None,
 ) -> dict:
     """Replay the same interval sequence in-process and sharded.
 
@@ -290,10 +317,15 @@ def run_sharded_replay(
         num_intervals=num_intervals,
     )
     serial = run_interval_replay(
-        optimizer=MegaTEOptimizer(lp_backend=lp_backend), **config
+        optimizer=MegaTEOptimizer(
+            lp_backend=lp_backend, ssp_backend=ssp_backend
+        ),
+        **config,
     )
     with MegaTEOptimizer(
-        lp_backend=lp_backend, shard_workers=shard_workers
+        lp_backend=lp_backend,
+        shard_workers=shard_workers,
+        ssp_backend=ssp_backend,
     ) as optimizer:
         sharded = run_interval_replay(optimizer=optimizer, **config)
     serial_solver = serial.stage1_lp_s + serial.stage2_ssp_s
@@ -323,6 +355,7 @@ def run_cold_vs_incremental(
     num_intervals: int = 10,
     delta_threshold: float = 1.5,
     lp_backend: str | None = None,
+    ssp_backend: str | None = None,
 ) -> dict:
     """Replay the same interval sequence cold and incrementally.
 
@@ -349,13 +382,17 @@ def run_cold_vs_incremental(
         num_intervals=num_intervals,
     )
     cold = run_interval_replay(
-        optimizer=MegaTEOptimizer(lp_backend=lp_backend), **config
+        optimizer=MegaTEOptimizer(
+            lp_backend=lp_backend, ssp_backend=ssp_backend
+        ),
+        **config,
     )
     incremental = run_interval_replay(
         optimizer=MegaTEOptimizer(
             incremental=True,
             delta_threshold=delta_threshold,
             lp_backend=lp_backend,
+            ssp_backend=ssp_backend,
         ),
         **config,
     )

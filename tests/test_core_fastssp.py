@@ -177,3 +177,101 @@ def test_result_utilization_zero_capacity():
         error_bound=0.0,
     )
     assert result.utilization == 0.0
+
+
+class TestSelectedArray:
+    """The array-native selection dual (selected_array) of FastSSPResult."""
+
+    def test_tuple_construction_derives_array(self):
+        result = FastSSPResult(selected=(1, 3), total=2.0, capacity=3.0)
+        arr = result.selected_array
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 3]
+
+    def test_array_construction_derives_tuple(self):
+        result = FastSSPResult(
+            selected_array=np.array([0, 2], dtype=np.int64),
+            total=2.0,
+            capacity=3.0,
+        )
+        assert result.selected == (0, 2)
+        assert all(isinstance(i, int) for i in result.selected)
+
+    def test_one_form_required(self):
+        with pytest.raises(TypeError):
+            FastSSPResult(total=0.0, capacity=0.0)
+
+    def test_fast_ssp_returns_array_native(self):
+        result = fast_ssp(np.array([3.0, 1.0, 2.0]), 4.0)
+        arr = result.selected_array
+        assert arr.dtype == np.int64
+        assert np.array_equal(
+            arr, np.asarray(result.selected, dtype=np.int64)
+        )
+
+    def test_equality_across_forms(self):
+        a = FastSSPResult(selected=(0, 1), total=3.0, capacity=3.0)
+        b = FastSSPResult(
+            selected_array=np.array([0, 1], dtype=np.int64),
+            total=3.0,
+            capacity=3.0,
+        )
+        assert a == b
+
+
+def _fill_pair_rescan_reference(volumes, alloc_k, fill_order, epsilon):
+    """The pre-free-list fill_pair: rescan assigned per tunnel.
+
+    Kept verbatim as the regression reference for the shrinking
+    free-index optimization — both must stay bit-identical.
+    """
+    from repro.core.types import UNASSIGNED
+
+    assigned = np.full(volumes.size, UNASSIGNED, dtype=np.int32)
+    placed = np.zeros(alloc_k.size, dtype=np.float64)
+    if volumes.size == 0 or alloc_k.size == 0:
+        return assigned, placed
+    for t_index in fill_order:
+        capacity = alloc_k[t_index]
+        if capacity <= 0:
+            continue
+        free = np.flatnonzero(assigned == UNASSIGNED)
+        if free.size == 0:
+            break
+        result = fast_ssp(volumes[free], capacity, epsilon=epsilon)
+        chosen = free[np.asarray(result.selected, dtype=np.int64)]
+        assigned[chosen] = t_index
+        placed[t_index] = result.total
+    from repro.core.incremental import reconcile_leftovers
+
+    leftovers = alloc_k - placed
+    reconcile_leftovers(volumes, assigned, placed, leftovers, fill_order)
+    return assigned, placed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_tunnels=st.integers(1, 5),
+    epsilon=st.sampled_from([0.05, 0.1, 0.3]),
+)
+def test_fill_pair_free_list_matches_rescan(seed, num_tunnels, epsilon):
+    """fill_pair's shrinking free list == the old per-tunnel rescan."""
+    from repro.core.pairfill import fill_pair
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 80))
+    volumes = rng.exponential(1.0, n)
+    alloc = rng.uniform(
+        0.0, volumes.sum() / num_tunnels if n else 2.0, num_tunnels
+    )
+    alloc[rng.random(num_tunnels) < 0.2] = 0.0
+    fill_order = rng.permutation(num_tunnels).astype(np.int64)
+    got_assigned, got_placed = fill_pair(
+        volumes, alloc, fill_order, epsilon
+    )
+    ref_assigned, ref_placed = _fill_pair_rescan_reference(
+        volumes, alloc, fill_order, epsilon
+    )
+    assert np.array_equal(got_assigned, ref_assigned)
+    assert np.array_equal(got_placed, ref_placed)

@@ -42,6 +42,7 @@ from repro.experiments.bench_history import (  # noqa: E402
     SLO_KEYS,
     load_history,
     record_kind_of,
+    ssp_backend_of,
 )
 
 DEFAULT_HISTORY = REPO / "BENCH_interval_solve.json"
@@ -65,9 +66,19 @@ assert set(TOLERANCES) == set(SLO_KEYS)
 
 
 def check_trajectory(name: str, records: list[dict]) -> list[str]:
-    """Regression messages for one soak config's record sequence."""
+    """Regression messages for one soak config's record sequence.
+
+    The baseline only considers prior records that ran the same FastSSP
+    kernel backend as the fresh one (``ssp_backend_of``; records
+    predating the batched kernel count as ``"scalar"``) — scalar and
+    batched timings are different distributions and must not mix in one
+    median.
+    """
     fresh = records[-1]
-    priors = records[:-1][-BASELINE_WINDOW:]
+    backend = ssp_backend_of(fresh)
+    priors = [
+        r for r in records[:-1] if ssp_backend_of(r) == backend
+    ][-BASELINE_WINDOW:]
     if not priors:
         return []
     failures: list[str] = []
