@@ -41,6 +41,7 @@ from .experiments import (
 )
 from .experiments.reporting import render_table
 from .simulation.soak import SCENARIO_NAMES
+from .simulation.streaming import STREAM_SCENARIO_NAMES, TRIGGER_NAMES
 
 __all__ = ["main"]
 
@@ -637,6 +638,115 @@ def _cmd_soak(args) -> None:
         )
 
 
+def _make_predictor(name: str):
+    """Build a named demand predictor for the stream loop (or None)."""
+    from .traffic.prediction import (
+        DiurnalPredictor,
+        EWMAPredictor,
+        LastValuePredictor,
+    )
+
+    if name == "none":
+        return None
+    if name == "last-value":
+        return LastValuePredictor()
+    if name == "ewma":
+        return EWMAPredictor(alpha=0.5)
+    if name == "diurnal":
+        return DiurnalPredictor(intervals_per_day=96)
+    raise ValueError(f"unknown predictor {name!r}")
+
+
+def _cmd_stream(args) -> None:
+    """``repro stream``: event-driven control loop vs the oracle.
+
+    Runs the streaming study — the seeded event stream drained through
+    the every-event oracle, the candidate trigger, and the candidate
+    with/without admission control — and reports the satisfied-volume
+    ratio, the solve budget, and the QoS-1 protection margin.
+    """
+    import time
+
+    from .experiments.stream_study import (
+        append_stream_record,
+        run_stream_study,
+        stream_history_record,
+    )
+
+    overrides = dict(
+        topology_name=args.topology,
+        total_endpoints=args.endpoints,
+        num_site_pairs=args.pairs,
+        num_epochs=args.events,
+        tick_s=args.tick,
+        seed=args.seed,
+        threshold=args.threshold,
+        refresh_s=args.refresh,
+    )
+    study = run_stream_study(
+        args.scenario,
+        trigger=args.trigger,
+        predictor=_make_predictor(args.predictor),
+        **overrides,
+    )
+    if args.metrics_out:
+        # The headline (admission-on) run leaves its series in the
+        # registry for exactly this.
+        registry = obs.get_registry()
+        if args.metrics_out.endswith(".json"):
+            text = (
+                json.dumps(obs.registry_to_json(registry), indent=2)
+                + "\n"
+            )
+        else:
+            text = obs.registry_to_prometheus(registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.history:
+        record = stream_history_record(
+            study,
+            timestamp=time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            git_sha=_git_sha(),
+        )
+        total = append_stream_record(args.history, record)
+        print(
+            f"appended stream record {record['config_name']} to "
+            f"{args.history} ({total} history records)"
+        )
+    if args.json:
+        _emit(json.dumps(study, indent=2) + "\n", args.out)
+        return
+    cfg = study["config"]
+    rows = [
+        (name, study[name]["solves"], study[name]["solves_per_event"],
+         study[name]["satisfied_fraction"], study[name]["qos1_floor"])
+        for name in ("oracle", "candidate", "no_admission", "admission")
+    ]
+    lines = [
+        f"Stream: scenario {study['scenario']}, trigger "
+        f"{study['trigger']} on {cfg['topology_name']} "
+        f"({cfg['total_endpoints']} endpoints, "
+        f"{cfg['num_site_pairs']} pairs, {cfg['num_epochs']} epochs, "
+        f"seed {cfg['seed']})",
+        render_table(
+            ["run", "solves", "solves/event", "satisfied", "qos1 floor"],
+            rows,
+            precision=4,
+        ),
+        "",
+        f"oracle ratio {study['oracle_ratio']:.4f} at "
+        f"{study['solves_fraction']:.1%} of the oracle's solves; "
+        f"admission shed {study['admission']['shed_volume']:.1f} "
+        f"(QoS-1 floor {study['admission']['qos1_floor']:.4f} vs "
+        f"{study['no_admission']['qos1_floor']:.4f} unprotected)",
+        f"identity digest {study['candidate']['identity_digest']}",
+    ]
+    _emit("\n".join(lines) + "\n", args.out)
+
+
 def _cmd_metrics(args) -> None:
     _instrumented_replay(args)
     registry = obs.get_registry()
@@ -693,6 +803,7 @@ _COMMANDS = {
     "fig17": _cmd_fig17,
     "chaos": _cmd_chaos,
     "soak": _cmd_soak,
+    "stream": _cmd_stream,
     "replay": _cmd_replay,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,
@@ -814,6 +925,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-gate", action="store_true",
         help="report SLO violations without failing the process",
+    )
+    _add_output_flags(p)
+
+    p = sub.add_parser(
+        "stream",
+        help="event-driven control loop: trigger policies vs the oracle",
+    )
+    p.add_argument(
+        "--scenario", choices=list(STREAM_SCENARIO_NAMES),
+        default="flash-crowd",
+        help="which event stream to drain (see simulation.streaming)",
+    )
+    p.add_argument(
+        "--trigger", choices=list(TRIGGER_NAMES), default="hybrid",
+        help="candidate re-solve trigger policy",
+    )
+    p.add_argument(
+        "--predictor",
+        choices=["none", "last-value", "ewma", "diurnal"],
+        default="none",
+        help="forecaster threaded into the candidate's trigger decision",
+    )
+    p.add_argument(
+        "--events", type=int, default=96, metavar="EPOCHS",
+        help="controller epochs to run (one event batch per epoch)",
+    )
+    p.add_argument("--topology", default="twan")
+    p.add_argument("--endpoints", type=int, default=6_000)
+    p.add_argument("--pairs", type=int, default=36)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--tick", type=float, default=30.0,
+        help="simulated seconds per controller epoch",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative demand-drift threshold for delta/hybrid triggers",
+    )
+    p.add_argument(
+        "--refresh", type=float, default=600.0,
+        help="hybrid trigger's staleness-bounded full refresh (seconds)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the headline run's metrics snapshot (Prometheus "
+             "text, or a JSON snapshot for .json files)",
+    )
+    p.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="append a validated 'stream' record to this bench-history "
+             "artifact (e.g. BENCH_interval_solve.json)",
     )
     _add_output_flags(p)
 

@@ -17,6 +17,7 @@ database_study  §6.4 sharded TE database load
 fastssp_study   App. A.2 FastSSP accuracy & error bound
 chaos_sync      Fig. 16's shape under injected store faults
 soak_study      long-horizon multi-failure soak with SLO gates
+stream_study    streaming control loop: triggers vs the oracle
 =============== ==============================================
 """
 
@@ -50,6 +51,13 @@ from .soak_study import (
     soak_config,
     soak_config_name,
     soak_history_record,
+)
+from .stream_study import (
+    append_stream_record,
+    run_stream_study,
+    stream_config,
+    stream_config_name,
+    stream_history_record,
 )
 from .summary import CheckResult, run_all_checks
 from .sweep import SweepRecord, run_scale_sweep
@@ -88,4 +96,9 @@ __all__ = [
     "soak_config_name",
     "soak_history_record",
     "append_soak_record",
+    "run_stream_study",
+    "stream_config",
+    "stream_config_name",
+    "stream_history_record",
+    "append_stream_record",
 ]

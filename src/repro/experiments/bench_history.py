@@ -25,13 +25,16 @@ identical configs — that is what keeps a per-name trajectory
 comparable — and :func:`load_history` can filter to one name.
 
 Histories also interleave record *kinds*: the original perf records
-(``kind`` absent or ``"perf"``) and ``"soak"`` records appended by the
+(``kind`` absent or ``"perf"``), ``"soak"`` records appended by the
 soak study (:mod:`repro.experiments.soak_study`), which pin the SLO
 metrics of a scenario run so regressions in failure behavior are
-caught the same way perf regressions are.  :func:`record_kind_of`
-dispatches; soak records always carry an explicit ``config_name`` (the
-scenario is part of the name, keeping soak trajectories separate from
-perf ones).
+caught the same way perf regressions are, and ``"stream"`` records
+appended by the streaming control-loop study
+(:mod:`repro.experiments.stream_study`), which pin the trigger-vs-
+oracle outcome of an event-driven run.  :func:`record_kind_of`
+dispatches; soak and stream records always carry an explicit
+``config_name`` (the scenario is part of the name, keeping their
+trajectories separate from perf ones).
 """
 
 from __future__ import annotations
@@ -46,7 +49,9 @@ __all__ = [
     "record_kind_of",
     "ssp_backend_of",
     "load_history",
+    "append_history_record",
     "SLO_KEYS",
+    "STREAM_REQUIRED_KEYS",
 ]
 
 #: Keys every history record must carry.
@@ -109,8 +114,28 @@ SLO_KEYS = (
 )
 
 
+#: Keys every ``stream`` record must carry — the trigger-vs-oracle
+#: outcome metrics of a streaming control-loop run
+#: (:mod:`repro.experiments.stream_study`).
+STREAM_REQUIRED_KEYS = (
+    "timestamp",
+    "git_sha",
+    "kind",
+    "config_name",
+    "config",
+    "scenario",
+    "seed",
+    "trigger",
+    "oracle_ratio",
+    "solves_fraction",
+    "qos1_floor",
+    "shed_volume",
+    "identity_digest",
+)
+
+
 def record_kind_of(record: dict) -> str:
-    """The record's kind: ``"soak"``, or ``"perf"`` (the default)."""
+    """The record's kind: ``"soak"``, ``"stream"``, or ``"perf"``."""
     kind = record.get("kind") if isinstance(record, dict) else None
     return kind if isinstance(kind, str) and kind else "perf"
 
@@ -238,11 +263,69 @@ def _validate_soak_record(record: dict, where: str) -> None:
         )
 
 
+def _validate_stream_record(record: dict, where: str) -> None:
+    for key in STREAM_REQUIRED_KEYS:
+        _require(key in record, where, f"missing required key {key!r}")
+    for key in (
+        "timestamp",
+        "git_sha",
+        "config_name",
+        "scenario",
+        "trigger",
+    ):
+        _require(
+            isinstance(record[key], str) and record[key],
+            where,
+            f"{key} must be a non-empty string",
+        )
+    _require(
+        record["kind"] == "stream", where, 'kind must be "stream"'
+    )
+    config = record["config"]
+    _require(isinstance(config, dict), where, "config must be a dict")
+    for key in CONFIG_KEYS:
+        _require(key in config, where, f"config missing {key!r}")
+    _require(
+        isinstance(record["seed"], int)
+        and not isinstance(record["seed"], bool),
+        where,
+        "seed must be an integer",
+    )
+    for key in (
+        "oracle_ratio",
+        "solves_fraction",
+        "qos1_floor",
+        "shed_volume",
+    ):
+        value = record[key]
+        _require(
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value >= 0,
+            where,
+            f"{key} must be a non-negative number",
+        )
+    _require(
+        isinstance(record["identity_digest"], str)
+        and len(record["identity_digest"]) == 64,
+        where,
+        "identity_digest must be a SHA-256 hex string",
+    )
+    if "ssp_backend" in record:
+        _require(
+            isinstance(record["ssp_backend"], str)
+            and bool(record["ssp_backend"]),
+            where,
+            "ssp_backend must be a non-empty string",
+        )
+
+
 def validate_history_record(record: object, index: int | None = None) -> None:
     """Check one history record against its kind's schema.
 
     Perf records (``kind`` absent or ``"perf"``) validate against the
-    replay-bench schema; ``"soak"`` records against the SLO schema.
+    replay-bench schema; ``"soak"`` records against the SLO schema;
+    ``"stream"`` records against the streaming-study schema.
 
     Args:
         record: The candidate record.
@@ -257,6 +340,9 @@ def validate_history_record(record: object, index: int | None = None) -> None:
     kind = record_kind_of(record)
     if kind == "soak":
         _validate_soak_record(record, where)
+        return
+    if kind == "stream":
+        _validate_stream_record(record, where)
         return
     _require(
         kind == "perf", where, f"unknown record kind {kind!r}"
@@ -381,3 +467,27 @@ def load_history(
             if config_name_of(record) == config_name
         ]
     return history
+
+
+def append_history_record(path: Path | str, record: dict) -> int:
+    """Append one validated record to a history artifact in place.
+
+    Only extends ``history`` — whatever snapshot block the perf
+    benchmarks last wrote is preserved.  Loads strictly first (schema
+    *and* the same-name-identical-config invariant), refusing to append
+    after a corrupt or config-drifted history.
+
+    Returns:
+        The history length after the append.
+    """
+    path = Path(path)
+    validate_history_record(record)
+    load_history(path)
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = {}
+    history = payload.setdefault("history", [])
+    history.append(record)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(history)

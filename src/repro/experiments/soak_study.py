@@ -18,7 +18,6 @@ may vary between runs has to vary the name too.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from ..core import MegaTEOptimizer
@@ -29,7 +28,7 @@ from ..simulation.soak import (
     scenario_events,
 )
 from ..traffic import DiurnalSequence
-from .bench_history import load_history, validate_history_record
+from .bench_history import append_history_record, validate_history_record
 from .common import build_scenario
 
 __all__ = [
@@ -191,14 +190,4 @@ def append_soak_record(path: Path | str, record: dict) -> int:
     Returns:
         The history length after the append.
     """
-    path = Path(path)
-    validate_history_record(record)
-    load_history(path)
-    if path.exists():
-        payload = json.loads(path.read_text())
-    else:
-        payload = {}
-    history = payload.setdefault("history", [])
-    history.append(record)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return len(history)
+    return append_history_record(path, record)

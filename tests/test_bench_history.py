@@ -9,7 +9,9 @@ import pytest
 from repro.experiments.bench_history import (
     SLO_KEYS,
     SOAK_REQUIRED_KEYS,
+    STREAM_REQUIRED_KEYS,
     BenchHistoryError,
+    append_history_record,
     config_name_of,
     load_history,
     record_kind_of,
@@ -360,6 +362,164 @@ class TestSoakRecords:
         )
         with pytest.raises(BenchHistoryError, match=r"history\[1\]"):
             load_history(path)
+
+
+def _stream_record() -> dict:
+    """A record of the ``stream`` kind (online control-loop trajectory)."""
+    return {
+        "timestamp": "2026-08-09T00:00:00Z",
+        "git_sha": "abcdef123456",
+        "kind": "stream",
+        "config_name": "stream-flash-crowd-hybrid-twan-6k-96e-s0",
+        "config": {
+            "topology_name": "twan",
+            "total_endpoints": 6_000,
+            "num_site_pairs": 36,
+            "num_intervals": 96,
+            "seed": 0,
+        },
+        "scenario": "flash-crowd",
+        "seed": 0,
+        "trigger": "hybrid",
+        "oracle_ratio": 0.9996,
+        "solves_fraction": 0.0833,
+        "qos1_floor": 0.9932,
+        "shed_volume": 1703.2,
+        "identity_digest": DIGEST,
+    }
+
+
+class TestStreamRecords:
+    def test_valid_stream_record_passes(self):
+        validate_history_record(_stream_record())
+
+    def test_record_kind_dispatch(self):
+        assert record_kind_of(_stream_record()) == "stream"
+
+    @pytest.mark.parametrize(
+        "key", [k for k in STREAM_REQUIRED_KEYS if k != "kind"]
+    )
+    def test_missing_stream_key_raises(self, key):
+        record = _stream_record()
+        del record[key]
+        with pytest.raises(BenchHistoryError, match=key):
+            validate_history_record(record)
+
+    def test_bad_identity_digest_raises(self):
+        record = _stream_record()
+        record["identity_digest"] = "deadbeef"
+        with pytest.raises(BenchHistoryError, match="identity_digest"):
+            validate_history_record(record)
+
+    @pytest.mark.parametrize(
+        "key", ["oracle_ratio", "solves_fraction", "qos1_floor",
+                "shed_volume"]
+    )
+    def test_negative_metric_raises(self, key):
+        record = _stream_record()
+        record[key] = -0.1
+        with pytest.raises(BenchHistoryError, match=key):
+            validate_history_record(record)
+
+    def test_bool_metric_raises(self):
+        record = _stream_record()
+        record["oracle_ratio"] = True
+        with pytest.raises(BenchHistoryError, match="oracle_ratio"):
+            validate_history_record(record)
+
+    def test_bool_seed_raises(self):
+        record = _stream_record()
+        record["seed"] = True
+        with pytest.raises(BenchHistoryError, match="seed"):
+            validate_history_record(record)
+
+    def test_empty_trigger_raises(self):
+        record = _stream_record()
+        record["trigger"] = ""
+        with pytest.raises(BenchHistoryError, match="trigger"):
+            validate_history_record(record)
+
+    def test_stream_missing_config_key_raises(self):
+        record = _stream_record()
+        del record["config"]["num_intervals"]
+        with pytest.raises(BenchHistoryError, match="num_intervals"):
+            validate_history_record(record)
+
+    def test_mixed_three_kind_history_loads(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "history": [
+                        _valid_record(),
+                        _soak_record(),
+                        _stream_record(),
+                        _million_record(),
+                    ]
+                }
+            )
+        )
+        history = load_history(path)
+        assert [record_kind_of(r) for r in history] == [
+            "perf", "soak", "stream", "perf",
+        ]
+        stream_only = load_history(
+            path, config_name="stream-flash-crowd-hybrid-twan-6k-96e-s0"
+        )
+        assert len(stream_only) == 1
+        assert stream_only[0]["trigger"] == "hybrid"
+
+    def test_stream_same_name_divergent_config_raises(self, tmp_path):
+        drifted = _stream_record()
+        drifted["config"]["num_site_pairs"] = 37
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps({"history": [_stream_record(), drifted]})
+        )
+        with pytest.raises(BenchHistoryError, match="identical configs"):
+            load_history(path)
+
+
+class TestAppendHistoryRecord:
+    def test_appends_to_missing_artifact(self, tmp_path):
+        path = tmp_path / "bench.json"
+        assert append_history_record(path, _stream_record()) == 1
+        assert append_history_record(path, _soak_record()) == 2
+        history = load_history(path)
+        assert [record_kind_of(r) for r in history] == [
+            "stream", "soak",
+        ]
+
+    def test_preserves_snapshot_payload(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "config": {"note": "latest snapshot"},
+                    "history": [_valid_record()],
+                }
+            )
+        )
+        append_history_record(path, _stream_record())
+        payload = json.loads(path.read_text())
+        assert payload["config"] == {"note": "latest snapshot"}
+        assert len(payload["history"]) == 2
+
+    def test_rejects_invalid_record_without_writing(self, tmp_path):
+        path = tmp_path / "bench.json"
+        record = _stream_record()
+        del record["trigger"]
+        with pytest.raises(BenchHistoryError, match="trigger"):
+            append_history_record(path, record)
+        assert not path.exists()
+
+    def test_rejects_append_to_corrupt_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        bad = _stream_record()
+        del bad["trigger"]
+        path.write_text(json.dumps({"history": [bad]}))
+        with pytest.raises(BenchHistoryError, match=r"history\[0\]"):
+            append_history_record(path, _stream_record())
 
 
 def test_repo_artifact_validates():

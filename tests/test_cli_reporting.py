@@ -305,7 +305,9 @@ class TestObservabilityCLI:
     def test_reporting_flags_uniform(self):
         """Every reporting subcommand exposes --seed, --json and --out."""
         parser = build_parser()
-        for command in ("replay", "chaos", "soak", "metrics", "trace"):
+        for command in (
+            "replay", "chaos", "soak", "stream", "metrics", "trace",
+        ):
             args = parser.parse_args([command])
             for flag in ("seed", "json", "out"):
                 assert hasattr(args, flag), (command, flag)
@@ -337,6 +339,53 @@ class TestObservabilityCLI:
         assert len(history) == 1
         assert history[0]["kind"] == "soak"
         assert history[0]["identity_digest"] == report["identity_digest"]
+
+    def test_stream_json_report_and_history(self, tmp_path):
+        import json
+
+        report_path = tmp_path / "stream.json"
+        metrics_path = tmp_path / "stream.prom"
+        history_path = tmp_path / "hist.json"
+        argv = [
+            "stream", "--scenario", "flash-crowd",
+            "--trigger", "hybrid", "--predictor", "last-value",
+            "--endpoints", "2000", "--pairs", "24",
+            "--events", "8", "--seed", "0",
+            "--json", "--out", str(report_path),
+            "--metrics-out", str(metrics_path),
+            "--history", str(history_path),
+        ]
+        assert main(argv) == 0
+        study = json.loads(report_path.read_text())
+        assert study["scenario"] == "flash-crowd"
+        assert study["trigger"] == "hybrid"
+        assert study["oracle_ratio"] > 0
+        for run in ("oracle", "candidate", "no_admission", "admission"):
+            assert study[run]["solves"] >= 1
+            assert 0.0 < study[run]["satisfied_fraction"] <= 1.0
+        assert "megate_stream_resolves_total" in metrics_path.read_text()
+        from repro.experiments.bench_history import load_history
+
+        history = load_history(history_path)
+        assert len(history) == 1
+        assert history[0]["kind"] == "stream"
+        assert history[0]["trigger"] == "hybrid"
+        assert (
+            history[0]["identity_digest"]
+            == study["candidate"]["identity_digest"]
+        )
+
+    def test_stream_table_output(self, capsys):
+        argv = [
+            "stream", "--scenario", "diurnal-shift",
+            "--trigger", "delta",
+            "--endpoints", "2000", "--pairs", "20",
+            "--events", "6", "--seed", "1",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "oracle ratio" in out
+        assert "identity digest" in out
 
     def test_soak_gate_exits_nonzero_on_violation(self, tmp_path, capsys):
         # An impossible delivered-volume floor cannot be met; the gate

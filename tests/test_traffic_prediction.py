@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.traffic import (
     DemandMatrix,
@@ -123,6 +125,96 @@ class TestDiurnal:
             diurnal.observe(actual)
             last.observe(actual)
         assert np.mean(err_diurnal) < np.mean(err_last)
+
+
+def _all_predictors():
+    return (
+        LastValuePredictor(),
+        EWMAPredictor(alpha=0.5),
+        DiurnalPredictor(intervals_per_day=4),
+    )
+
+
+class TestEdgeCases:
+    def test_empty_matrix_round_trip(self):
+        """Zero site pairs observe/predict without blowing up."""
+        empty = DemandMatrix([])
+        for predictor in _all_predictors():
+            predictor.observe(empty)
+            out = predictor.predict()
+            assert out.num_site_pairs == 0
+            assert out.total_demand == 0.0
+
+    def test_empty_pair_round_trip(self):
+        """A site pair with zero flows survives the forecast path."""
+        matrix = DemandMatrix(
+            [make_pair_demands([]), make_pair_demands([2.0, 3.0])]
+        )
+        for predictor in _all_predictors():
+            predictor.observe(matrix)
+            out = predictor.predict()
+            assert out.pair(0).num_pairs == 0
+            np.testing.assert_allclose(
+                out.pair(1).volumes, [2.0, 3.0]
+            )
+
+    def test_single_interval_history_forecasts_it(self):
+        """With exactly one observation, every predictor returns it."""
+        matrix = _matrix([1.5, 2.5, 0.0])
+        for predictor in _all_predictors():
+            predictor.observe(matrix)
+            np.testing.assert_array_equal(
+                predictor.predict().pair(0).volumes, [1.5, 2.5, 0.0]
+            )
+
+    def test_ewma_alpha_bounds(self):
+        """(0, 1] is the valid alpha interval, inclusive at 1 only."""
+        for bad in (0.0, -0.1, 1.0 + 1e-9, 2.0):
+            with pytest.raises(ValueError):
+                EWMAPredictor(alpha=bad)
+        assert EWMAPredictor(alpha=1e-9).alpha == 1e-9
+        assert EWMAPredictor(alpha=1.0).alpha == 1.0
+
+    def test_ewma_alpha_one_is_last_value(self):
+        """alpha=1 forgets all history: forecast == last observation."""
+        ewma = EWMAPredictor(alpha=1.0)
+        last = LastValuePredictor()
+        for values in ([1.0, 8.0], [3.0, 0.5], [7.0, 7.0]):
+            m = _matrix(values)
+            ewma.observe(m)
+            last.observe(m)
+        np.testing.assert_array_equal(
+            ewma.predict().pair(0).volumes,
+            last.predict().pair(0).volumes,
+        )
+
+
+_volumes = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+class TestLastValueProperty:
+    @given(previous=_volumes, older=_volumes)
+    @settings(max_examples=60, deadline=None)
+    def test_forecast_is_previous_matrix_bitwise(self, previous, older):
+        """LastValue forecast == the previous matrix, bit for bit."""
+        predictor = LastValuePredictor()
+        predictor.observe(_matrix(older))
+        observed = _matrix(previous)
+        predictor.observe(observed)
+        forecast = predictor.predict()
+        assert (
+            forecast.pair(0).volumes.tobytes()
+            == observed.pair(0).volumes.tobytes()
+        )
 
 
 class TestPredictionError:
